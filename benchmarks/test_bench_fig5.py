@@ -1,0 +1,28 @@
+"""Benchmark: regenerate the paper's Figure 5 network/bcopy profiles."""
+
+from __future__ import annotations
+
+from repro.evaluation.fig5_profile import format_profile, run_all
+from repro.machine.model import MACHINES
+
+
+def test_fig5_bandwidth_profiles(benchmark):
+    profiles = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    for profile in profiles:
+        print(format_profile(profile))
+        print()
+
+    by_name = {p.machine: p for p in profiles}
+    for name, machine in MACHINES.items():
+        profile = by_name[name]
+        # bcopy curve sits above the network curve everywhere (Fig 5 top
+        # vs bottom curve).
+        for point in profile.points:
+            assert point.bcopy_bw >= point.receive_bw
+            assert point.inject_bw >= point.receive_bw
+        # startup amortization saturates well below the cache limit.
+        assert profile.knee(0.8) < machine.cache_bytes
+
+    # The derived combining threshold on the SP2 is in the ~20 KB regime.
+    assert 4096 <= by_name["SP2"].knee(0.8) <= 32768

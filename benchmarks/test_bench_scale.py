@@ -1,0 +1,58 @@
+"""Compiler scalability benchmark: placement over synthetically grown
+programs.
+
+The paper's algorithm is quadratic-ish in candidate positions x entries
+(CommSet comparisons); this benchmark grows a program's statement count
+and shows compile time staying tractable, plus the entry/position census
+at each size.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import Strategy, compile_program
+
+
+def synthetic_program(phases: int) -> str:
+    """``phases`` stencil statements over ``phases`` arrays, all shifted
+    reads of the previous phase's output inside one time loop."""
+    arrays = [f"x{i}" for i in range(phases + 1)]
+    decls = "\n".join(
+        f"REAL {a}(n)\nDISTRIBUTE {a}(BLOCK) ONTO p" for a in arrays
+    )
+    stmts = "\n".join(
+        f"{arrays[i + 1]}(2:n-1) = {arrays[i]}(1:n-2) + {arrays[i]}(3:n)"
+        for i in range(phases)
+    )
+    feedback = f"{arrays[0]}(2:n-1) = {arrays[-1]}(2:n-1)"
+    return (
+        f"PROGRAM scale\nPARAM n = 64\nPROCESSORS p(4)\n{decls}\n"
+        f"DO t = 1, 10\n{stmts}\n{feedback}\nEND DO\nEND"
+    )
+
+
+def compile_sizes(sizes: list[int]) -> dict[int, tuple[int, int]]:
+    out = {}
+    for phases in sizes:
+        result = compile_program(synthetic_program(phases), strategy=Strategy.GLOBAL)
+        out[phases] = (len(result.entries), result.call_sites())
+    return out
+
+
+def test_bench_scaling_with_program_size(benchmark):
+    sizes = [4, 8, 16, 32]
+    data = benchmark.pedantic(compile_sizes, args=(sizes,), rounds=1, iterations=1)
+    print()
+    for phases, (entries, sites) in data.items():
+        print(f"  {phases:3d} phases: {entries:3d} entries -> {sites:3d} call sites")
+    for phases, (entries, sites) in data.items():
+        assert entries == 2 * phases  # two shifted reads per phase
+        # each phase's ±1 pair combines at its own boundary: one site per
+        # direction per phase
+        assert sites == 2 * phases
+
+
+def test_bench_largest_program(benchmark):
+    source = synthetic_program(48)
+
+    result = benchmark(compile_program, source, None, Strategy.GLOBAL)
+    assert len(result.entries) == 96

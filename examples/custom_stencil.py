@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Bring your own kernel: write a mini-HPF program, compile it, inspect
+the analysis, and validate the schedule by concrete execution.
+
+This example builds a damped-Jacobi sweep, walks through the per-use
+analysis results (Earliest / Latest / candidate chain), and shows how the
+schedule changes when the processor grid changes (shifts along an axis
+with a single processor become local and their messages disappear).
+
+Run:  python examples/custom_stencil.py
+"""
+
+from repro import Strategy, check_schedule, compile_program
+from repro.core.pipeline import analyze_entries
+from repro.core.context import AnalysisContext
+from repro.frontend.analysis import elaborate
+from repro.frontend.parser import parse
+from repro.frontend.scalarizer import scalarize
+
+SOURCE = """
+PROGRAM jacobi
+  PARAM n = 32
+  PARAM pr = 4
+  PARAM pc = 2
+  PARAM nsweeps = 10
+  PROCESSORS procs(pr, pc)
+  TEMPLATE t(n, n)
+  DISTRIBUTE t(BLOCK, BLOCK) ONTO procs
+  REAL u(n, n) ALIGN WITH t
+  REAL f(n, n) ALIGN WITH t
+
+  REAL w(n, n) ALIGN WITH t
+
+  DO sweep = 1, nsweeps
+    ! five-point relaxation into the work array
+    w(2:n-1, 2:n-1) = 0.25 * (u(1:n-2, 2:n-1) + u(3:n, 2:n-1) + &
+        u(2:n-1, 1:n-2) + u(2:n-1, 3:n)) + f(2:n-1, 2:n-1)
+    ! damped update (perfectly aligned: no communication)
+    u(2:n-1, 2:n-1) = 0.8 * u(2:n-1, 2:n-1) + 0.2 * w(2:n-1, 2:n-1)
+  END DO
+END PROGRAM
+"""
+
+
+def inspect_analysis() -> None:
+    program = parse(SOURCE)
+    info = elaborate(program)
+    scalarized = scalarize(program, info)
+    ctx = AnalysisContext(elaborate(scalarized))
+    entries = analyze_entries(ctx)
+
+    print(f"=== per-use analysis ({len(entries)} communication entries) ===")
+    for e in entries[:6]:
+        print(f"  {e.label:12s} {str(e.pattern.mapping):14s} "
+              f"E = {ctx.describe_position(e.earliest_pos):24s} "
+              f"L = {ctx.describe_position(e.latest_pos):24s} "
+              f"candidates = {len(e.candidates)}")
+    if len(entries) > 6:
+        print(f"  ... and {len(entries) - 6} more")
+    print()
+
+
+def compile_and_validate() -> None:
+    print("=== call sites per version ===")
+    for strategy in Strategy:
+        result = compile_program(SOURCE, strategy=strategy)
+        print(f"  {strategy.value:6s}: {result.call_sites()}")
+    print()
+
+    result = compile_program(SOURCE, params={"n": 12, "nsweeps": 2,
+                                             "pr": 2, "pc": 2})
+    stats = check_schedule(result)
+    print(f"=== schedule validated by execution: {stats.deliveries} "
+          f"deliveries, {stats.reads_checked} reads checked ===")
+    print()
+
+
+def grid_sensitivity() -> None:
+    print("=== same code, different processor grids ===")
+    for pr, pc in ((4, 2), (2, 4), (8, 1), (1, 8)):
+        result = compile_program(SOURCE, params={"pr": pr, "pc": pc})
+        kinds = result.call_sites_by_kind()
+        print(f"  {pr}x{pc}: {result.call_sites()} call sites {kinds}")
+    print("(an axis with one processor makes shifts along it local, so a")
+    print(" 1-d grid halves the exchanges)")
+
+
+def main() -> None:
+    inspect_analysis()
+    compile_and_validate()
+    grid_sensitivity()
+
+
+if __name__ == "__main__":
+    main()

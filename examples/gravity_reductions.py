@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""The NPAC gravity code (paper Figure 1): combining nearest-neighbour
+exchanges of a 3-d and a 2-d array, and combining global sums.
+
+The interesting placements here:
+
+* the four NNC exchanges on the plane ``g(i, :, :)`` combine pairwise with
+  the four on the 2-d array ``glast`` — one message per direction carrying
+  sections of *both* arrays (8 -> 4);
+* the four boundary-row global sums in each of the two sum statements
+  combine into a single reduction call each (8 -> 2).
+
+Run:  python examples/gravity_reductions.py
+"""
+
+from repro import SP2, Strategy, compile_all_strategies, schedule_report, simulate
+from repro.evaluation.programs import GRAVITY
+
+
+def main() -> None:
+    results = compile_all_strategies(GRAVITY)
+
+    print("=== static call sites (paper: NNC 8/8/4, SUM 8/8/2) ===")
+    for strategy in Strategy:
+        kinds = results[strategy].call_sites_by_kind()
+        print(f"  {strategy.value:6s}: NNC {kinds.get('shift', 0)}, "
+              f"SUM {kinds.get('reduction', 0)}")
+    print()
+
+    comb = results[Strategy.GLOBAL]
+    print("=== combined schedule ===")
+    print(schedule_report(comb))
+    print()
+
+    print("=== simulated effect on the SP2 (n = 150, P = 25) ===")
+    sized = compile_all_strategies(GRAVITY, params={"n": 150, "pr": 5, "pc": 5})
+    base = None
+    for strategy in Strategy:
+        rep = simulate(sized[strategy], SP2)
+        if base is None:
+            base = rep.total_time
+        print(
+            f"  {strategy.value:6s}: total {rep.total_time:6.3f}s "
+            f"(norm {rep.total_time / base:4.2f}), "
+            f"comm {rep.comm_time:6.3f}s, "
+            f"{rep.messages_per_proc} messages/processor"
+        )
+
+
+if __name__ == "__main__":
+    main()

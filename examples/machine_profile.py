@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Figure 5: bcopy vs network bandwidth, and the
+combining threshold derived from the knee.
+
+Prints an ASCII rendition of the three curves per machine on a log-x
+axis, like the paper's plots.
+
+Run:  python examples/machine_profile.py
+"""
+
+from repro.evaluation.fig5_profile import profile_machine, size_axis
+from repro.machine.model import MACHINES
+
+
+def ascii_curve(values: list[float], width: int = 40) -> list[int]:
+    top = max(values)
+    return [round(v / top * (width - 1)) for v in values]
+
+
+def main() -> None:
+    sizes = size_axis(16, 4 * 1024 * 1024)
+    for name, machine in MACHINES.items():
+        profile = profile_machine(machine, sizes)
+        print(f"=== Figure 5 — {name} ===")
+        print(f"{'bytes':>9s}  {'bcopy':>7s} {'inject':>7s} {'recv':>7s}"
+              f"   (MB/s; bars: receive bandwidth)")
+        bars = ascii_curve([p.receive_bw for p in profile.points])
+        for p, bar in zip(profile.points, bars):
+            print(
+                f"{p.nbytes:9d}  {p.bcopy_bw / 1e6:7.1f} "
+                f"{p.inject_bw / 1e6:7.1f} {p.receive_bw / 1e6:7.1f}   "
+                + "#" * bar
+            )
+        print(f"  startup-amortization knee (80% of peak): "
+              f"{profile.knee(0.8):,} bytes")
+        print(f"  bcopy cache cliff: {profile.cache_cliff():,} bytes")
+        print(f"  => combining threshold used by the compiler: 20 KB "
+              f"(paper §4.7)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

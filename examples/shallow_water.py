@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The NCAR shallow-water benchmark end to end (paper Figure 2 + the
+shallow rows of Figure 10).
+
+Compiles the shallow-water code with the three compiler versions, shows
+the static message counts (20 / 14 / 8 — exactly the paper's table), then
+simulates the SP2 and NOW machine models over a problem-size sweep and
+prints the normalized running times of the paper's bar charts.
+
+Run:  python examples/shallow_water.py
+"""
+
+from repro import NOW, SP2, Strategy, compile_all_strategies, simulate
+from repro.evaluation.programs import SHALLOW
+
+
+def static_counts() -> None:
+    print("=== static NNC exchanges per timestep (paper: 20 / 14 / 8) ===")
+    results = compile_all_strategies(SHALLOW)
+    for strategy in Strategy:
+        result = results[strategy]
+        print(f"  {strategy.value:6s}: {result.call_sites()} exchanges")
+        if strategy is Strategy.GLOBAL:
+            for pc in result.placed:
+                arrays = "+".join(e.array for e in pc.entries)
+                covered = [a.label for e in pc.entries for a in e.absorbed]
+                extra = f" (also covers {', '.join(covered)})" if covered else ""
+                print(f"      {pc.entries[0].pattern.mapping}: {arrays}{extra}")
+    print()
+
+
+def timed_sweep(machine, procs, sizes) -> None:
+    pr, pc = procs
+    print(f"=== simulated times on {machine.name} (P = {pr}x{pc}) ===")
+    print(f"{'n':>6s} | {'orig':>8s} | {'nored':>14s} | {'comb':>14s}")
+    for n in sizes:
+        params = {"n": n, "pr": pr, "pc": pc}
+        results = compile_all_strategies(SHALLOW, params=params)
+        reports = {s: simulate(r, machine) for s, r in results.items()}
+        base = reports[Strategy.ORIG].total_time
+        row = f"{n:6d} | {base:7.3f}s"
+        for s in (Strategy.EARLIEST, Strategy.GLOBAL):
+            rep = reports[s]
+            row += (f" | {rep.total_time:6.3f}s ({rep.total_time / base:4.2f})")
+        comm_cut = (
+            reports[Strategy.ORIG].comm_time / reports[Strategy.GLOBAL].comm_time
+        )
+        row += f"   comm cut {comm_cut:.1f}x"
+        print(row)
+    print()
+
+
+def main() -> None:
+    static_counts()
+    timed_sweep(SP2, (5, 5), [256, 512, 1024])
+    timed_sweep(NOW, (4, 2), [400, 450, 500])
+
+
+if __name__ == "__main__":
+    main()

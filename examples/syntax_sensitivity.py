@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""The paper's Figure 3: earliest placement is sensitive to syntax.
+
+Three semantically equivalent codes define ``a`` and ``b`` and then read
+both with the same shift.  After the scalarizer splits the F90 array
+statements into separate loops, *earliest* placement pins the two
+messages at two different definition points and cannot combine them; the
+global algorithm evaluates the whole candidate range and combines them in
+every version.
+
+Run:  python examples/syntax_sensitivity.py
+"""
+
+from repro import Strategy, compile_program
+
+VERSIONS = {
+    "F90 source (scalarizer splits the loops)": """
+PROGRAM v1
+  PARAM n = 16
+  PROCESSORS pr(4)
+  REAL a(n)
+  REAL b(n)
+  REAL c(n)
+  DISTRIBUTE a(BLOCK) ONTO pr
+  DISTRIBUTE b(BLOCK) ONTO pr
+  DISTRIBUTE c(BLOCK) ONTO pr
+  a(:) = 3
+  b(:) = 4
+  c(2:n) = a(1:n-1) + b(1:n-1)
+END PROGRAM
+""",
+    "hand-fused definition loop": """
+PROGRAM v2
+  PARAM n = 16
+  PROCESSORS pr(4)
+  REAL a(n)
+  REAL b(n)
+  REAL c(n)
+  DISTRIBUTE a(BLOCK) ONTO pr
+  DISTRIBUTE b(BLOCK) ONTO pr
+  DISTRIBUTE c(BLOCK) ONTO pr
+  DO i = 1, n
+    a(i) = 3
+    b(i) = 4
+  END DO
+  DO i = 2, n
+    c(i) = a(i-1) + b(i-1)
+  END DO
+END PROGRAM
+""",
+    "separate scalarized loops (what pHPF's scalarizer emits)": """
+PROGRAM v3
+  PARAM n = 16
+  PROCESSORS pr(4)
+  REAL a(n)
+  REAL b(n)
+  REAL c(n)
+  DISTRIBUTE a(BLOCK) ONTO pr
+  DISTRIBUTE b(BLOCK) ONTO pr
+  DISTRIBUTE c(BLOCK) ONTO pr
+  DO i = 1, n
+    a(i) = 3
+  END DO
+  DO i = 1, n
+    b(i) = 4
+  END DO
+  DO i = 2, n
+    c(i) = a(i-1) + b(i-1)
+  END DO
+END PROGRAM
+""",
+}
+
+
+def main() -> None:
+    print(f"{'version':55s} {'earliest':>9s} {'global':>7s}")
+    print("-" * 75)
+    for name, source in VERSIONS.items():
+        nored = compile_program(source, strategy=Strategy.EARLIEST)
+        comb = compile_program(source, strategy=Strategy.GLOBAL)
+        print(f"{name:55s} {nored.call_sites():9d} {comb.call_sites():7d}")
+    print()
+    print("Earliest placement emits 2 messages whenever the definitions sit")
+    print("in different intervals; the global algorithm combines them into")
+    print("one message in every version — placement robust to syntax.")
+
+
+if __name__ == "__main__":
+    main()

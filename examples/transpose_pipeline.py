@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Beyond nearest-neighbour: general communication patterns.
+
+The paper's framework handles any sender→receiver relation; NNC and
+reductions just combine best.  This example compiles a small pipeline
+with a transposed access (a general many-to-many pattern), a replicated
+consumer (allgather), and a stencil (NNC), and shows how each classifies,
+places, and costs out — and that the SPMD execution still matches the
+sequential semantics exactly.
+
+Run:  python examples/transpose_pipeline.py
+"""
+
+import numpy as np
+
+from repro import SP2, Strategy, compile_program, schedule_report, simulate
+from repro.runtime.interp import interpret
+from repro.runtime.spmd import execute_spmd
+
+SOURCE = """
+PROGRAM pipeline
+  PARAM n = 24
+  PROCESSORS procs(2, 2)
+  TEMPLATE t(n, n)
+  DISTRIBUTE t(BLOCK, BLOCK) ONTO procs
+  REAL a(n, n) ALIGN WITH t
+  REAL b(n, n) ALIGN WITH t
+  REAL c(n, n) ALIGN WITH t
+  REAL mirror(n, n)
+  REAL s
+
+  ! stencil phase: nearest-neighbour communication
+  b(2:n-1, 2:n-1) = a(1:n-2, 2:n-1) + a(3:n, 2:n-1)
+
+  ! transpose phase: a general many-to-many pattern
+  DO i = 1, n
+    DO j = 1, n
+      c(i, j) = b(j, i)
+    END DO
+  END DO
+
+  ! replicated consumer: every processor needs the whole section
+  mirror(1:n, 1:n) = c(1:n, 1:n)
+
+  ! global reduction
+  s = SUM(c(1:n, 1:n))
+END PROGRAM
+"""
+
+
+def main() -> None:
+    result = compile_program(SOURCE, strategy=Strategy.GLOBAL)
+
+    print("=== pattern classification ===")
+    for entry in result.entries:
+        print(f"  {entry.label:12s} -> {entry.pattern}")
+    print()
+
+    print("=== placed schedule ===")
+    print(schedule_report(result))
+    print()
+
+    print("=== SPMD execution vs sequential semantics ===")
+    state, stats = execute_spmd(result)
+    ref = interpret(result.info)
+    ok = all(np.array_equal(state[k], ref[k]) for k in ref)
+    print(f"  exact match: {ok}; {stats.messages} wire messages, "
+          f"{stats.bytes_moved} bytes, {stats.reductions} reductions")
+    print()
+
+    print("=== simulated cost on the SP2 ===")
+    report = simulate(result, SP2)
+    for op_cost in report.comm_ops:
+        kind = op_cost.op.kind
+        print(f"  {kind:10s}: {op_cost.messages_per_exec:3d} partner msgs, "
+              f"{op_cost.bytes_per_exec:6d} B, {op_cost.total_time * 1e6:8.1f} µs")
+    print(f"  total comm {report.comm_time * 1e3:.2f} ms vs compute "
+          f"{report.compute_time * 1e3:.2f} ms")
+    print()
+    print("General patterns dominate the bill — which is why HPF codes are")
+    print("written to keep communication nearest-neighbour, and why the")
+    print("paper's combining targets NNC and reductions first.")
+
+
+if __name__ == "__main__":
+    main()

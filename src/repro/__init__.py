@@ -1,0 +1,86 @@
+"""repro — a reproduction of *Global Communication Analysis and
+Optimization* (Chakrabarti, Gupta, Choi; PLDI 1996).
+
+The package implements the paper's global communication-placement
+algorithm for data-parallel (HPF-style) programs, together with every
+substrate it needs: a mini-HPF frontend with scalarizer, an augmented CFG
+with SSA over preserving array defs, array dependence testing with
+direction vectors, the Available-Section-Descriptor algebra, the three
+compiler versions evaluated in the paper (``orig`` / ``nored`` /
+``comb``), a bulk-synchronous machine-model simulator standing in for the
+IBM SP2 and the Berkeley NOW, and a concrete schedule-safety checker.
+
+Quick start::
+
+    from repro import compile_program, Strategy, schedule_report
+
+    result = compile_program(SOURCE, strategy=Strategy.GLOBAL)
+    print(schedule_report(result))
+    print(result.call_sites_by_kind())
+
+See ``examples/`` for runnable end-to-end scenarios and ``DESIGN.md`` for
+the experiment index.
+"""
+
+from .codegen.report import annotated_listing, schedule_report
+from .codegen.spmd import lower_schedule
+from .core.context import AnalysisContext, CompilerOptions
+from .core.pipeline import (
+    CompilationResult,
+    Strategy,
+    compile_all_strategies,
+    compile_program,
+)
+from .errors import (
+    CodegenError,
+    DependenceError,
+    LexError,
+    ParseError,
+    PlacementError,
+    ReproError,
+    ScalarizationError,
+    SemanticError,
+    SimulationError,
+)
+from .frontend.analysis import ProgramInfo, elaborate
+from .frontend.parser import parse
+from .frontend.scalarizer import scalarize
+from .machine.model import MACHINES, NOW, SP2, MachineModel
+from .runtime.checker import check_schedule
+from .runtime.interp import interpret
+from .runtime.simulator import SimReport, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisContext",
+    "CompilationResult",
+    "CompilerOptions",
+    "CodegenError",
+    "DependenceError",
+    "LexError",
+    "MACHINES",
+    "MachineModel",
+    "NOW",
+    "ParseError",
+    "PlacementError",
+    "ProgramInfo",
+    "ReproError",
+    "SP2",
+    "ScalarizationError",
+    "SemanticError",
+    "SimReport",
+    "SimulationError",
+    "Strategy",
+    "annotated_listing",
+    "check_schedule",
+    "compile_all_strategies",
+    "compile_program",
+    "elaborate",
+    "interpret",
+    "lower_schedule",
+    "parse",
+    "scalarize",
+    "schedule_report",
+    "simulate",
+]

@@ -1,0 +1,189 @@
+"""Affine integer expressions over named symbols.
+
+The whole analysis side of the compiler — subscript analysis, dependence
+testing, section computation — works on *affine* forms::
+
+    c0 + c1*x1 + c2*x2 + ...
+
+where the ``xi`` are loop induction variables or program parameters (``n``,
+``nsteps``).  :class:`Affine` is an immutable value type with exact integer
+coefficients, supporting the small algebra the compiler needs: addition,
+subtraction, scaling, substitution of a symbol by another affine form, and
+interval evaluation under symbol ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from .errors import DependenceError
+
+
+class NonAffineError(DependenceError):
+    """Raised when an expression cannot be put in affine form."""
+
+
+class Affine:
+    """An immutable affine form ``const + sum(coeff[s] * s)``.
+
+    Zero coefficients are never stored, so two equal forms always compare
+    and hash equal.
+    """
+
+    __slots__ = ("const", "coeffs", "_hash")
+
+    def __init__(self, const: int = 0, coeffs: Mapping[str, int] | None = None) -> None:
+        self.const = int(const)
+        items = {}
+        if coeffs:
+            for name, c in coeffs.items():
+                c = int(c)
+                if c != 0:
+                    items[name] = c
+        self.coeffs = dict(sorted(items.items()))
+        self._hash = hash((self.const, tuple(self.coeffs.items())))
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def constant(value: int) -> "Affine":
+        return Affine(value)
+
+    @staticmethod
+    def symbol(name: str, coeff: int = 1) -> "Affine":
+        return Affine(0, {name: coeff})
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    @property
+    def symbols(self) -> frozenset[str]:
+        return frozenset(self.coeffs)
+
+    def coeff(self, name: str) -> int:
+        """Coefficient of ``name`` (0 if absent)."""
+        return self.coeffs.get(name, 0)
+
+    def depends_on(self, names: Iterable[str]) -> bool:
+        return any(n in self.coeffs for n in names)
+
+    # -- algebra -----------------------------------------------------------
+
+    def __add__(self, other: "Affine | int") -> "Affine":
+        if isinstance(other, int):
+            return Affine(self.const + other, self.coeffs)
+        merged = dict(self.coeffs)
+        for name, c in other.coeffs.items():
+            merged[name] = merged.get(name, 0) + c
+        return Affine(self.const + other.const, merged)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Affine":
+        return Affine(-self.const, {n: -c for n, c in self.coeffs.items()})
+
+    def __sub__(self, other: "Affine | int") -> "Affine":
+        if isinstance(other, int):
+            return Affine(self.const - other, self.coeffs)
+        return self + (-other)
+
+    def __rsub__(self, other: int) -> "Affine":
+        return (-self) + other
+
+    def scaled(self, factor: int) -> "Affine":
+        if factor == 0:
+            return Affine(0)
+        return Affine(
+            self.const * factor, {n: c * factor for n, c in self.coeffs.items()}
+        )
+
+    def __mul__(self, other: "Affine | int") -> "Affine":
+        if isinstance(other, int):
+            return self.scaled(other)
+        if other.is_constant:
+            return self.scaled(other.const)
+        if self.is_constant:
+            return other.scaled(self.const)
+        raise NonAffineError(f"product of {self} and {other} is not affine")
+
+    __rmul__ = __mul__
+
+    def substitute(self, name: str, replacement: "Affine | int") -> "Affine":
+        """Replace ``name`` with ``replacement`` throughout."""
+        c = self.coeffs.get(name, 0)
+        if c == 0:
+            return self
+        rest = {n: k for n, k in self.coeffs.items() if n != name}
+        base = Affine(self.const, rest)
+        if isinstance(replacement, int):
+            return base + c * replacement
+        return base + replacement.scaled(c)
+
+    def substitute_all(self, bindings: Mapping[str, "Affine | int"]) -> "Affine":
+        out = self
+        for name, repl in bindings.items():
+            out = out.substitute(name, repl)
+        return out
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        """Evaluate to an integer; every symbol must be bound in ``env``."""
+        total = self.const
+        for name, c in self.coeffs.items():
+            if name not in env:
+                raise NonAffineError(f"unbound symbol {name!r} in {self}")
+            total += c * env[name]
+        return total
+
+    def interval(self, ranges: Mapping[str, tuple[int, int]]) -> tuple[int, int]:
+        """Min/max of the form when each symbol varies over an inclusive
+        [lo, hi] range.  Symbols absent from ``ranges`` raise."""
+        lo = hi = self.const
+        for name, c in self.coeffs.items():
+            if name not in ranges:
+                raise NonAffineError(f"no range for symbol {name!r} in {self}")
+            rlo, rhi = ranges[name]
+            if rlo > rhi:
+                raise NonAffineError(f"empty range for symbol {name!r}")
+            if c >= 0:
+                lo += c * rlo
+                hi += c * rhi
+            else:
+                lo += c * rhi
+                hi += c * rlo
+        return lo, hi
+
+    # -- comparison / display ----------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Affine):
+            return NotImplemented
+        return self.const == other.const and self.coeffs == other.coeffs
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Affine({self})"
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for name, c in self.coeffs.items():
+            if c == 1:
+                term = name
+            elif c == -1:
+                term = f"-{name}"
+            else:
+                term = f"{c}*{name}"
+            if parts and not term.startswith("-"):
+                parts.append(f"+{term}")
+            else:
+                parts.append(term)
+        if self.const or not parts:
+            if parts and self.const > 0:
+                parts.append(f"+{self.const}")
+            else:
+                parts.append(str(self.const))
+        return "".join(parts)

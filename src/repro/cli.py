@@ -1,0 +1,163 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .`` / ``python setup.py develop``)::
+
+    python -m repro compile program.hpf --strategy comb --report --listing
+    python -m repro compile program.hpf --all --check
+    python -m repro simulate program.hpf --machine SP2 --param n=512
+    python -m repro table          # regenerate the Figure 10 count table
+    python -m repro charts         # regenerate the Figure 10 time charts
+    python -m repro profile        # regenerate the Figure 5 curves
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .codegen.report import annotated_listing, schedule_report
+from .core.pipeline import Strategy, compile_all_strategies, compile_program
+from .errors import ReproError
+from .machine.model import MACHINES
+from .runtime.checker import check_schedule
+from .runtime.simulator import simulate
+
+
+def _parse_params(items: list[str]) -> dict[str, int]:
+    params: dict[str, int] = {}
+    for item in items:
+        name, _, value = item.partition("=")
+        if not value:
+            raise SystemExit(f"bad --param {item!r}: expected NAME=INT")
+        params[name.strip()] = int(value)
+    return params
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    source = open(args.file).read()
+    params = _parse_params(args.param)
+    strategies = list(Strategy) if args.all else [Strategy.parse(args.strategy)]
+    for strategy in strategies:
+        result = compile_program(source, params or None, strategy)
+        print(f"== strategy {strategy.value}: {result.call_sites()} call "
+              f"sites {result.call_sites_by_kind()}")
+        if args.report:
+            print(schedule_report(result))
+        if args.listing:
+            print(annotated_listing(result))
+        if args.check:
+            stats = check_schedule(result)
+            print(f"   schedule verified: {stats.deliveries} deliveries, "
+                  f"{stats.reads_checked} reads checked")
+        print()
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    source = open(args.file).read()
+    params = _parse_params(args.param)
+    machine = MACHINES[args.machine]
+    base = None
+    for strategy in Strategy:
+        result = compile_program(source, params or None, strategy)
+        report = simulate(result, machine)
+        if base is None:
+            base = report.total_time
+        print(
+            f"  {strategy.value:6s}: total {report.total_time:9.4f}s "
+            f"(norm {report.total_time / base:4.2f})  "
+            f"comm {report.comm_time:9.4f}s  "
+            f"{report.messages_per_proc} msgs/proc"
+        )
+    return 0
+
+
+def cmd_table(_args: argparse.Namespace) -> int:
+    from .evaluation.fig10_table import build_table, format_table
+
+    print(format_table(build_table()))
+    return 0
+
+
+def cmd_charts(_args: argparse.Namespace) -> int:
+    from .evaluation.fig10_charts import format_chart, run_all
+
+    for chart in run_all():
+        print(format_chart(chart))
+        print()
+    return 0
+
+
+def cmd_profile(_args: argparse.Namespace) -> int:
+    from .evaluation.fig5_profile import format_profile, run_all
+
+    for profile in run_all():
+        print(format_profile(profile))
+        print()
+    return 0
+
+
+def cmd_reproduce(_args: argparse.Namespace) -> int:
+    from .evaluation.reproduce import main as reproduce_main
+
+    return reproduce_main()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Global communication analysis and optimization "
+        "(PLDI 1996 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile a mini-HPF program")
+    p.add_argument("file")
+    p.add_argument("--strategy", default="comb",
+                   help="orig | nored | comb (default comb)")
+    p.add_argument("--all", action="store_true",
+                   help="compile with all three strategies")
+    p.add_argument("--param", action="append", default=[], metavar="NAME=INT")
+    p.add_argument("--report", action="store_true",
+                   help="print the communication schedule")
+    p.add_argument("--listing", action="store_true",
+                   help="print the annotated scalarized program")
+    p.add_argument("--check", action="store_true",
+                   help="verify the schedule by concrete execution")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("simulate", help="simulate all three versions")
+    p.add_argument("file")
+    p.add_argument("--machine", choices=sorted(MACHINES), default="SP2")
+    p.add_argument("--param", action="append", default=[], metavar="NAME=INT")
+    p.set_defaults(func=cmd_simulate)
+
+    sub.add_parser("table", help="Figure 10 message-count table").set_defaults(
+        func=cmd_table
+    )
+    sub.add_parser("charts", help="Figure 10 normalized-time charts").set_defaults(
+        func=cmd_charts
+    )
+    sub.add_parser("profile", help="Figure 5 bandwidth profiles").set_defaults(
+        func=cmd_profile
+    )
+    sub.add_parser(
+        "reproduce", help="run every paper check and print PASS/FAIL"
+    ).set_defaults(func=cmd_reproduce)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Schedule lowering and human-readable compilation reports."""
+
+from .report import annotated_listing, schedule_report
+from .spmd import Anchor, ScheduledProgram, anchor_of_position, lower_schedule
+
+__all__ = [
+    "Anchor",
+    "ScheduledProgram",
+    "anchor_of_position",
+    "annotated_listing",
+    "lower_schedule",
+    "schedule_report",
+]

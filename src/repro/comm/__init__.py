@@ -1,0 +1,30 @@
+"""Communication representation: patterns, entries, combining rules."""
+
+from .compatibility import entries_combinable, message_volume, sections_combinable
+from .entries import CommEntry, SectionBuilder
+from .patterns import (
+    AllGatherMapping,
+    CommPattern,
+    GeneralMapping,
+    PatternClassifier,
+    ReductionMapping,
+    ShiftMapping,
+    mapping_subsumes,
+    mappings_combinable,
+)
+
+__all__ = [
+    "AllGatherMapping",
+    "CommEntry",
+    "CommPattern",
+    "GeneralMapping",
+    "PatternClassifier",
+    "ReductionMapping",
+    "SectionBuilder",
+    "ShiftMapping",
+    "entries_combinable",
+    "mapping_subsumes",
+    "mappings_combinable",
+    "message_volume",
+    "sections_combinable",
+]

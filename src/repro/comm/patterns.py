@@ -1,0 +1,307 @@
+"""Communication pattern classification.
+
+For every SSA use of a distributed array, decide — under the owner-computes
+rule — what communication shape fetching the remote data has:
+
+* **SHIFT / NNC** — the reference is a constant element offset from the
+  statement's owner along distributed dimensions (nearest-neighbour when
+  the offset stays within one block);
+* **REDUCTION** — the use is the argument of a reduction intrinsic; the
+  communication is the inverted pattern the paper describes in §6.2
+  (compute partial results locally, then combine across the grid axes the
+  reduced dimensions span);
+* **ALLGATHER** — a replicated left-hand side (or scalar) reads distributed
+  data: every processor needs the section;
+* **GENERAL** — anything else (transposes, mismatched grids/layouts).
+
+Mappings are canonicalized to *physical processor space* (the paper's
+extension for NNC equality in §4.7): a shift of 1 element and a shift of 3
+elements with block size ≥ 3 are the same neighbour mapping; their data
+sections differ and the section machinery accounts for that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..affine import Affine, NonAffineError
+from ..distribution.layout import DistFormat, Layout
+from ..frontend import ast_nodes as ast
+from ..frontend.analysis import ProgramInfo
+from ..ir.ssa import Use
+
+GridKey = tuple[str, tuple[int, ...]]
+
+
+def _grid_key(layout: Layout) -> GridKey:
+    return (layout.grid.name, layout.grid.shape)
+
+
+@dataclass(frozen=True)
+class ShiftMapping:
+    """Processor-space shift: ``proc_shifts[axis]`` processors along each
+    grid axis (0 = no movement along that axis)."""
+
+    grid: GridKey
+    proc_shifts: tuple[int, ...]
+
+    @property
+    def is_nnc(self) -> bool:
+        return all(abs(s) <= 1 for s in self.proc_shifts)
+
+    @property
+    def partners(self) -> int:
+        """Distinct processors each processor receives from."""
+        return 1 if any(self.proc_shifts) else 0
+
+    def __str__(self) -> str:
+        arrows = ",".join(f"{s:+d}" for s in self.proc_shifts)
+        return f"shift({arrows})"
+
+
+@dataclass(frozen=True)
+class ReductionMapping:
+    """Combine partial results across ``axes`` of the grid with ``op``."""
+
+    grid: GridKey
+    axes: tuple[int, ...]
+    op: str
+
+    def procs_combined(self) -> int:
+        shape = self.grid[1]
+        return math.prod(shape[a] for a in self.axes)
+
+    def __str__(self) -> str:
+        return f"reduce[{self.op}](axes={list(self.axes)})"
+
+
+@dataclass(frozen=True)
+class AllGatherMapping:
+    """Every processor receives the section (replicated consumer)."""
+
+    grid: GridKey
+    axes: tuple[int, ...]
+
+    def procs_combined(self) -> int:
+        shape = self.grid[1]
+        return math.prod(shape[a] for a in self.axes)
+
+    def __str__(self) -> str:
+        return f"allgather(axes={list(self.axes)})"
+
+
+@dataclass(frozen=True)
+class GeneralMapping:
+    """Catch-all many-to-many mapping, keyed by a structural signature so
+    identical general communications can still combine."""
+
+    grid: GridKey
+    signature: str
+
+    def __str__(self) -> str:
+        return f"general({self.signature})"
+
+
+Mapping = Union[ShiftMapping, ReductionMapping, AllGatherMapping, GeneralMapping]
+
+
+def mappings_combinable(a: Mapping, b: Mapping) -> bool:
+    """The paper's compatibility criterion: identical sender-receiver
+    relations (or one a subset of the other).  With processor-space
+    canonical forms, that reduces to equality."""
+    return a == b
+
+
+def mapping_subsumes(a: Mapping, b: Mapping) -> bool:
+    """May a communication with mapping ``a`` satisfy one with mapping
+    ``b`` (given the data sections subsume)?  ``M1(D1) ⊆ M2(D1)`` in the
+    paper; equality after canonicalization."""
+    return a == b
+
+
+@dataclass(frozen=True)
+class CommPattern:
+    """The classified communication requirement of one use."""
+
+    kind: str  # 'shift' | 'reduction' | 'allgather' | 'general'
+    mapping: Mapping
+    # For shifts: per-array-dimension element offsets (dim -> delta).
+    elem_shifts: tuple[tuple[int, int], ...] = ()
+
+    @property
+    def is_reduction(self) -> bool:
+        return self.kind == "reduction"
+
+    def __str__(self) -> str:
+        return f"{self.kind}:{self.mapping}"
+
+
+class PatternClassifier:
+    """Classifies uses of distributed arrays into communication patterns."""
+
+    def __init__(self, info: ProgramInfo) -> None:
+        self.info = info
+
+    def classify(self, use: Use) -> Optional[CommPattern]:
+        """Return the pattern for ``use``, or None when no communication is
+        required (local or replicated data)."""
+        ref = use.ref
+        if not isinstance(ref, ast.ArrayRef):
+            return None  # scalar reads are replicated
+        layout = self.info.layout(ref.name)
+        if not layout.distributed_dims:
+            return None  # replicated array: every processor has it
+
+        if use.in_reduction:
+            return self._classify_reduction(ref, layout, use)
+        return self._classify_elementwise(use.stmt, ref, layout)
+
+    # -- reductions ----------------------------------------------------------
+
+    def _classify_reduction(
+        self, ref: ast.ArrayRef, layout: Layout, use: Use
+    ) -> Optional[CommPattern]:
+        op = self._reduction_op(use.stmt, ref)
+        axes = sorted(
+            layout.dims[dim].grid_axis
+            for dim, sub in enumerate(ref.subscripts)
+            if isinstance(sub, ast.Triplet) and layout.dims[dim].is_distributed
+        )
+        if not axes:
+            return None  # reduced dims all local: partial sums need no comm
+        mapping = ReductionMapping(_grid_key(layout), tuple(axes), op)
+        return CommPattern("reduction", mapping)
+
+    def _reduction_op(self, stmt: ast.Assign, ref: ast.ArrayRef) -> str:
+        for node in ast.walk_expr(stmt.rhs):
+            if isinstance(node, ast.Reduction) and node.arg is ref:
+                return node.op
+        return "SUM"
+
+    # -- element-wise references ------------------------------------------------
+
+    def _classify_elementwise(
+        self, stmt: ast.Assign, ref: ast.ArrayRef, layout: Layout
+    ) -> Optional[CommPattern]:
+        lhs = stmt.lhs
+        grid_key = _grid_key(layout)
+
+        if isinstance(lhs, ast.VarRef):
+            lhs_layout = None
+        else:
+            lhs_layout = self.info.layout(lhs.name)
+            if not lhs_layout.distributed_dims:
+                lhs_layout = None
+
+        if lhs_layout is None:
+            # Replicated consumer: everyone needs the section.
+            axes = tuple(
+                sorted(
+                    layout.dims[d].grid_axis for d in layout.distributed_dims
+                )
+            )
+            return CommPattern("allgather", AllGatherMapping(grid_key, axes))
+
+        if lhs_layout.grid != layout.grid:
+            return CommPattern(
+                "general",
+                GeneralMapping(grid_key, f"xgrid:{lhs_layout.grid.name}"),
+            )
+
+        proc_shifts = [0] * len(layout.grid.shape)
+        elem_shifts: list[tuple[int, int]] = []
+        for dim in layout.distributed_dims:
+            axis = layout.dims[dim].grid_axis
+            assert axis is not None
+            lhs_dim = self._dim_on_axis(lhs_layout, axis)
+            if lhs_dim is None:
+                return CommPattern(
+                    "general", GeneralMapping(grid_key, f"axis{axis}:unmatched")
+                )
+            if (
+                lhs_layout.dims[lhs_dim].format != layout.dims[dim].format
+                or lhs_layout.dims[lhs_dim].extent != layout.dims[dim].extent
+            ):
+                return CommPattern(
+                    "general", GeneralMapping(grid_key, f"axis{axis}:layout")
+                )
+            delta = self._subscript_delta(
+                ref.subscripts[dim], lhs.subscripts[lhs_dim]
+            )
+            if delta is None:
+                # The paper's special case (§4.7): a *constant* source
+                # position — every consumer fetches from the fixed owner of
+                # that coordinate.  Canonicalizing the mapping by the owner
+                # coordinate lets identical constant-source communications
+                # combine (pHPF's physical-space equality extension).
+                const_coord = self._constant_source(ref.subscripts[dim], layout, dim)
+                if const_coord is not None:
+                    return CommPattern(
+                        "general",
+                        GeneralMapping(
+                            grid_key, f"const-src:axis{axis}@{const_coord}"
+                        ),
+                    )
+                return CommPattern(
+                    "general", GeneralMapping(grid_key, f"axis{axis}:nonconst")
+                )
+            if delta == 0:
+                continue
+            if layout.procs_along(dim) == 1:
+                continue  # a single processor on this axis: always local
+            fmt = layout.dims[dim].format
+            if fmt is DistFormat.BLOCK:
+                block = layout.block_size(dim)
+                hops = -(-abs(delta) // block)  # ceil
+                proc_shifts[axis] = hops if delta > 0 else -hops
+            else:  # CYCLIC: any nonzero element shift moves |delta| procs
+                procs = layout.procs_along(dim)
+                proc_shifts[axis] = delta % procs if delta > 0 else -((-delta) % procs)
+            elem_shifts.append((dim, delta))
+
+        if not any(proc_shifts):
+            return None  # perfectly aligned: all accesses local
+
+        mapping = ShiftMapping(grid_key, tuple(proc_shifts))
+        return CommPattern("shift", mapping, tuple(elem_shifts))
+
+    @staticmethod
+    def _dim_on_axis(layout: Layout, axis: int) -> Optional[int]:
+        for dim, m in enumerate(layout.dims):
+            if m.grid_axis == axis:
+                return dim
+        return None
+
+    def _constant_source(
+        self, sub: ast.Subscript, layout: Layout, dim: int
+    ) -> Optional[int]:
+        """Owner grid coordinate when the subscript is a compile-time
+        constant index on a distributed dimension, else None."""
+        if not isinstance(sub, ast.Index):
+            return None
+        try:
+            form = self.info.affine(sub.expr)
+        except NonAffineError:
+            return None
+        if not form.is_constant:
+            return None
+        if not 1 <= form.const <= layout.dims[dim].extent:
+            return None
+        return layout.owner_coord(dim, form.const)
+
+    def _subscript_delta(
+        self, rhs_sub: ast.Subscript, lhs_sub: ast.Subscript
+    ) -> Optional[int]:
+        """rhs - lhs subscript difference when it is a compile-time
+        constant (after parameter folding), else None."""
+        if not (isinstance(rhs_sub, ast.Index) and isinstance(lhs_sub, ast.Index)):
+            return None
+        try:
+            diff = self.info.affine(rhs_sub.expr) - self.info.affine(lhs_sub.expr)
+        except NonAffineError:
+            return None
+        if diff.is_constant:
+            return diff.const
+        return None

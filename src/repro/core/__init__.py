@@ -1,0 +1,26 @@
+"""The paper's global communication-placement algorithm (§4.2-§4.7) and
+its §6 extensions."""
+
+from .context import AnalysisContext, CompilerOptions
+from .pipeline import (
+    CompilationResult,
+    Strategy,
+    analyze_entries,
+    compile_all_strategies,
+    compile_program,
+    place,
+)
+from .state import PlacedComm, PlacementState
+
+__all__ = [
+    "AnalysisContext",
+    "CompilationResult",
+    "CompilerOptions",
+    "PlacedComm",
+    "PlacementState",
+    "Strategy",
+    "analyze_entries",
+    "compile_all_strategies",
+    "compile_program",
+    "place",
+]

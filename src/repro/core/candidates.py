@@ -1,0 +1,84 @@
+"""Candidate position marking (paper §4.4, Figure 9e).
+
+Any safe single placement point for use ``u`` must dominate ``u``; by
+Claims 4.5/4.6 the candidates are exactly the statements encountered while
+following dominator-tree parent links from the basic block of
+``Latest(u)`` up to the basic block of ``Earliest(u)``:
+
+* in the Latest block, positions up to ``Latest(u)``;
+* in intermediate blocks, every position;
+* in the Earliest block, positions from ``Earliest(u)`` onward.
+
+Positions include each block's top anchor (index -1), which is where
+preheader placements and φ-def points live.  The resulting list is
+dominator-ordered: ``candidates[0]`` is Earliest, ``candidates[-1]`` is
+Latest — a chain, since dominators of a node are totally ordered.
+"""
+
+from __future__ import annotations
+
+from ..comm.entries import CommEntry
+from ..errors import PlacementError
+from ..ir.cfg import Position
+from .context import AnalysisContext
+
+
+def mark_candidates(ctx: AnalysisContext, entry: CommEntry) -> None:
+    """Fill ``entry.candidates`` (earliest-first chain)."""
+    e_pos, l_pos = entry.earliest_pos, entry.latest_pos
+    if e_pos is None or l_pos is None:
+        raise PlacementError(f"entry {entry!r} missing earliest/latest")
+
+    e_node = ctx.node_of(e_pos)
+    l_node = ctx.node_of(l_pos)
+
+    if e_node is l_node:
+        if e_pos.index > l_pos.index:
+            raise PlacementError(
+                f"{entry!r}: Earliest {e_pos} after Latest {l_pos} in one block"
+            )
+        entry.candidates = ctx.positions_in_node(
+            e_node, start=e_pos.index, end=l_pos.index
+        )
+        return
+
+    path = ctx.dom.dom_tree_path(l_node, e_node)  # latest ... earliest
+    chain: list[Position] = []
+    for i, node in enumerate(path):
+        if i == 0:  # Latest's block: up to Latest
+            chain.extend(reversed(ctx.positions_in_node(node, end=l_pos.index)))
+        elif i == len(path) - 1:  # Earliest's block: from Earliest on
+            chain.extend(reversed(ctx.positions_in_node(node, start=e_pos.index)))
+        else:
+            chain.extend(reversed(ctx.positions_in_node(node)))
+    chain.reverse()  # earliest-first
+    entry.candidates = chain
+
+
+def verify_candidates(ctx: AnalysisContext, entry: CommEntry) -> None:
+    """Internal invariant check (Claim 4.6): every candidate dominates the
+    use, the chain is dominance-ordered, and the endpoints match."""
+    use_pos = ctx.cfg.position_before(entry.use.stmt)
+    cands = entry.candidates
+    if not cands:
+        raise PlacementError(f"{entry!r} has no candidates")
+    if cands[0] != entry.earliest_pos or cands[-1] != entry.latest_pos:
+        raise PlacementError(f"{entry!r}: candidate endpoints do not match")
+    for a, b in zip(cands, cands[1:]):
+        if not ctx.position_dominates(a, b):
+            raise PlacementError(f"{entry!r}: candidates not a dominance chain")
+    if entry.is_reduction:
+        # A reduction's combine phase may sit at-or-after its statement
+        # (§6.2 flexibility); every candidate must be reachable from the
+        # partial computation instead of dominating it.
+        for p in cands:
+            if not ctx.position_dominates(use_pos, p):
+                raise PlacementError(
+                    f"{entry!r}: reduction candidate {p} precedes the partials"
+                )
+        return
+    for p in cands:
+        if not ctx.position_dominates(p, use_pos) and p != use_pos:
+            raise PlacementError(
+                f"{entry!r}: candidate {p} does not dominate the use"
+            )

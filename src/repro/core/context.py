@@ -1,0 +1,102 @@
+"""Shared analysis context for the placement passes.
+
+Bundles everything the core algorithm consumes — elaborated program facts,
+the augmented CFG, dominators, SSA, the dependence tester, the section
+builder, and the pattern classifier — so each pass takes a single
+argument and the pipeline builds the whole stack once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..comm.entries import CommEntry, SectionBuilder
+from ..comm.patterns import PatternClassifier
+from ..dependence.tests import DependenceTester
+from ..frontend import ast_nodes as ast
+from ..frontend.analysis import ProgramInfo
+from ..ir.cfg import CFG, Node, Position
+from ..ir.dominators import DominatorInfo
+from ..ir.ssa import SSA
+
+
+@dataclass
+class CompilerOptions:
+    """Tuning knobs for the placement algorithm.
+
+    ``combine_threshold_bytes`` is the paper's message-combining limit
+    (20 KB on the SP2, from the Figure 5 study).  ``hull_slack`` and
+    ``hull_const`` bound how much larger the single-descriptor union may be
+    than the two sections it replaces (§4.7's "small constant").
+    ``greedy_order`` and the two ``enable_*`` switches exist for the
+    ablation benchmarks: ``constrained`` is the paper's most-constrained-
+    first rule, and the paper's §6 notes that subset elimination must be
+    dropped if overlap ever becomes an objective.
+    """
+
+    combine_threshold_bytes: int = 20480
+    hull_slack: float = 0.25
+    hull_const: int = 64
+    greedy_order: str = "constrained"  # 'constrained' | 'arbitrary' | 'reversed'
+    enable_subset_elimination: bool = True
+    enable_redundancy_elimination: bool = True
+    # §6.2 extension: let a reduction's combine phase slide later, down to
+    # the first use of its result (reversed reached-uses analysis).
+    reduction_flexibility: bool = False
+    # Final group placement: 'latest' is the paper's choice (reduce buffer
+    # and cache contention); 'earliest' maximizes CPU-network overlap (§6's
+    # trade-off, exercised by the overlap ablation benchmark).
+    group_placement: str = "latest"  # 'latest' | 'earliest'
+
+
+class AnalysisContext:
+    """All compiler analyses for one elaborated, scalarized program."""
+
+    def __init__(self, info: ProgramInfo, options: CompilerOptions | None = None) -> None:
+        self.info = info
+        self.options = options or CompilerOptions()
+        self.cfg = CFG(info.program)
+        self.dom = DominatorInfo(self.cfg)
+        tracked = set(info.layouts) | set(info.scalars)
+        self.ssa = SSA(self.cfg, self.dom, tracked)
+        self.tester = DependenceTester(info, self.cfg)
+        self.sections = SectionBuilder(info, self.cfg)
+        self.classifier = PatternClassifier(info)
+
+    # -- position helpers -------------------------------------------------------
+
+    def node_of(self, pos: Position) -> Node:
+        return self.cfg.node_by_id(pos.node_id)
+
+    def position_dominates(self, a: Position, b: Position) -> bool:
+        return self.dom.position_dominates(a, b)
+
+    def positions_in_node(
+        self, node: Node, start: int = -1, end: int | None = None
+    ) -> list[Position]:
+        if end is None:
+            end = len(node.stmts) - 1
+        return [Position(node.id, i) for i in range(start, end + 1)]
+
+    # -- entry discovery -----------------------------------------------------------
+
+    def collect_entries(self) -> list[CommEntry]:
+        """One :class:`CommEntry` per distributed-array use that needs
+        communication, in program order."""
+        distributed = {
+            name for name in self.info.layouts if self.info.is_distributed(name)
+        }
+        entries: list[CommEntry] = []
+        for use in self.ssa.array_uses(distributed):
+            pattern = self.classifier.classify(use)
+            if pattern is None:
+                continue
+            entries.append(CommEntry(use=use, pattern=pattern))
+        return entries
+
+    def describe_position(self, pos: Position) -> str:
+        node = self.node_of(pos)
+        if pos.index < 0:
+            return f"top of {node.label or node.kind}"
+        stmt = node.stmts[pos.index]
+        return f"after s{stmt.sid} ({stmt})"

@@ -1,0 +1,146 @@
+"""Greedy final placement and message combining (paper §4.7, Figure 9g).
+
+Entries are considered most-constrained-first (fewest surviving candidate
+positions — the analogue of Click's global code motion heuristic the paper
+cites).  Each entry is pinned at the candidate position where it can
+combine with the largest number of other still-active entries; ties prefer
+the *latest* position (reducing buffer/cache contention, the SP2 "folk
+truism" of §4.7).
+
+Entries pinned at the same position are then partitioned into groups of
+pairwise-compatible communications under the combined-size threshold, and
+each group is finally moved to the **latest position common to the
+candidate chains of its members and of every entry absorbed during
+redundancy elimination** — deferring the real placement decision to the
+last moment, which is the paper's central idea.
+"""
+
+from __future__ import annotations
+
+from ..comm.compatibility import entries_combinable, message_volume
+from ..comm.entries import CommEntry
+from ..errors import PlacementError
+from ..ir.cfg import Position
+from .context import AnalysisContext
+from .state import PlacedComm, PlacementState
+
+
+def _combinable_at(
+    ctx: AnalysisContext, a: CommEntry, b: CommEntry, pos: Position
+) -> bool:
+    node = ctx.node_of(pos)
+    ranges = ctx.sections.live_ranges_at(node)
+    sec_a = ctx.sections.section_at(a.use, node)
+    sec_b = ctx.sections.section_at(b.use, node)
+    opts = ctx.options
+    return entries_combinable(
+        ctx.info,
+        a,
+        b,
+        sec_a,
+        sec_b,
+        ranges,
+        opts.combine_threshold_bytes,
+        opts.hull_slack,
+        opts.hull_const,
+    )
+
+
+def _entry_order(ctx: AnalysisContext, state: PlacementState,
+                 entries: list[CommEntry]) -> list[CommEntry]:
+    mode = ctx.options.greedy_order
+    if mode == "constrained":
+        return sorted(entries, key=lambda e: (len(state.stmt_set(e)), e.id))
+    if mode == "reversed":
+        return sorted(entries, key=lambda e: (-len(state.stmt_set(e)), e.id))
+    return sorted(entries, key=lambda e: e.id)  # 'arbitrary': program order
+
+
+def greedy_choose(ctx: AnalysisContext, state: PlacementState) -> list[PlacedComm]:
+    """Pin every surviving entry, group, and push groups late."""
+    alive = [e for e in state.alive_entries() if state.stmt_set(e)]
+    for entry in _entry_order(ctx, state, alive):
+        # Candidate positions in chain order, latest last, so the final
+        # max() tie-breaks toward the latest position.
+        chain = [p for p in entry.candidates if p in state.stmt_set(entry)]
+        if not chain:
+            raise PlacementError(f"{entry!r} has no active position left")
+        best_pos = chain[-1]
+        best_count = -1
+        for pos in chain:  # earliest → latest; ">=" prefers the latest tie
+            others = [
+                state.by_id[i]
+                for i in state.comm_set(pos)
+                if i != entry.id and state.by_id[i].alive
+            ]
+            count = sum(1 for o in others if _combinable_at(ctx, entry, o, pos))
+            if count >= best_count:
+                best_count = count
+                best_pos = pos
+        state.restrict(entry, {best_pos})
+
+    # Partition per position into compatible groups.
+    by_pos: dict[Position, list[CommEntry]] = {}
+    for entry in alive:
+        (pos,) = state.stmt_set(entry)
+        by_pos.setdefault(pos, []).append(entry)
+
+    placed: list[PlacedComm] = []
+    for pos in sorted(by_pos):
+        groups = _partition_groups(ctx, by_pos[pos], pos)
+        for group in groups:
+            final_pos = _final_position(ctx, state, group, pos)
+            placed.append(PlacedComm(final_pos, group))
+    placed.sort(key=lambda pc: pc.position)
+    return placed
+
+
+def _partition_groups(
+    ctx: AnalysisContext, entries: list[CommEntry], pos: Position
+) -> list[list[CommEntry]]:
+    """Greedy pairwise-compatible grouping under the volume threshold."""
+    node = ctx.node_of(pos)
+    ranges = ctx.sections.live_ranges_at(node)
+    volumes = {
+        e.id: message_volume(
+            ctx.info, e, ctx.sections.section_at(e.use, node), ranges
+        )
+        for e in entries
+    }
+    groups: list[list[CommEntry]] = []
+    group_vol: list[int] = []
+    for entry in sorted(entries, key=lambda e: e.id):
+        for gi, group in enumerate(groups):
+            if group_vol[gi] + volumes[entry.id] > ctx.options.combine_threshold_bytes:
+                continue
+            if all(_combinable_at(ctx, entry, m, pos) for m in group):
+                group.append(entry)
+                group_vol[gi] += volumes[entry.id]
+                break
+        else:
+            groups.append([entry])
+            group_vol.append(volumes[entry.id])
+    return groups
+
+
+def _final_position(
+    ctx: AnalysisContext,
+    state: PlacementState,
+    group: list[CommEntry],
+    fallback: Position,
+) -> Position:
+    """Latest position common to the group's candidate chains and to every
+    absorbed entry's coverage constraint."""
+    constraints: list[set[Position]] = []
+    for entry in group:
+        constraints.extend(state.absorb_constraints.get(entry.id, []))
+    try:
+        if ctx.options.group_placement == "earliest":
+            return state.earliest_common_position(group, constraints)
+        return state.latest_common_position(group, constraints)
+    except PlacementError:
+        # The chosen greedy position is always a sound fallback: it is in
+        # every member's chain (they were pinned there) and the coverage
+        # constraints each contain their discovery position which dominates
+        # it... if even that fails, keep the pin.
+        return fallback

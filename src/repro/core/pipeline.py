@@ -1,0 +1,218 @@
+"""The compilation pipeline and the three placement strategies.
+
+* ``Strategy.ORIG`` ("orig" in the paper's Figure 10) — message
+  vectorization only: every communication at its Latest point, no
+  redundancy detection, no combining.  This is the classical single
+  loop-nest treatment.
+* ``Strategy.EARLIEST`` ("nored") — every communication hoisted to its
+  Earliest point, with forward redundancy elimination (an earlier-placed,
+  dominating communication that subsumes a later one kills it); no
+  combining.  This models earliest-placement dataflow schemes.
+* ``Strategy.GLOBAL`` ("comb") — the paper's algorithm: candidate marking
+  (§4.4), subset elimination (§4.5), global redundancy elimination (§4.6),
+  and greedy combining with push-late group placement (§4.7).
+
+:func:`compile_program` runs parse → elaborate → scalarize → CFG/SSA →
+classify → place and returns a :class:`CompilationResult` with the
+schedule, counts, and everything needed by the simulator and reports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..comm.entries import CommEntry
+from ..frontend import ast_nodes as ast
+from ..frontend.analysis import ProgramInfo, elaborate
+from ..frontend.parser import parse
+from ..frontend.scalarizer import scalarize
+from ..ir.cfg import Position
+from .candidates import mark_candidates, verify_candidates
+from .context import AnalysisContext, CompilerOptions
+from .earliest import compute_earliest
+from .greedy import greedy_choose
+from .latest import compute_latest
+from .redundancy import redundancy_eliminate, subsumes_at
+from .state import PlacedComm, PlacementState
+from .subset import subset_eliminate
+
+
+class Strategy(enum.Enum):
+    """Compiler versions of the paper's evaluation (Figure 10)."""
+
+    ORIG = "orig"
+    EARLIEST = "nored"
+    GLOBAL = "comb"
+
+    @staticmethod
+    def parse(name: "str | Strategy") -> "Strategy":
+        if isinstance(name, Strategy):
+            return name
+        lowered = name.lower()
+        aliases = {
+            "orig": Strategy.ORIG,
+            "original": Strategy.ORIG,
+            "latest": Strategy.ORIG,
+            "nored": Strategy.EARLIEST,
+            "earliest": Strategy.EARLIEST,
+            "redundancy": Strategy.EARLIEST,
+            "comb": Strategy.GLOBAL,
+            "global": Strategy.GLOBAL,
+            "combined": Strategy.GLOBAL,
+        }
+        if lowered not in aliases:
+            raise ValueError(f"unknown strategy {name!r}")
+        return aliases[lowered]
+
+
+@dataclass
+class CompilationResult:
+    """Everything produced by one compile: analyses, entries, schedule."""
+
+    ctx: AnalysisContext
+    strategy: Strategy
+    entries: list[CommEntry]
+    placed: list[PlacedComm]
+    stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def info(self) -> ProgramInfo:
+        return self.ctx.info
+
+    @property
+    def program(self) -> ast.Program:
+        return self.ctx.info.program
+
+    def call_sites(self) -> int:
+        """Static communication call sites (the paper's message counts:
+        a combined group is a single site)."""
+        return len(self.placed)
+
+    def call_sites_by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for pc in self.placed:
+            counts[pc.kind] = counts.get(pc.kind, 0) + 1
+        return counts
+
+    def eliminated_entries(self) -> list[CommEntry]:
+        return [e for e in self.entries if not e.alive]
+
+
+def analyze_entries(ctx: AnalysisContext) -> list[CommEntry]:
+    """Discover entries and compute Latest/Earliest/candidates for each."""
+    entries = ctx.collect_entries()
+    for entry in entries:
+        compute_latest(ctx, entry)
+        compute_earliest(ctx, entry)
+        mark_candidates(ctx, entry)
+        verify_candidates(ctx, entry)
+    return entries
+
+
+def place(ctx: AnalysisContext, entries: list[CommEntry],
+          strategy: Strategy) -> tuple[list[PlacedComm], dict[str, int]]:
+    """Run one placement strategy over analyzed entries."""
+    stats: dict[str, int] = {"entries": len(entries)}
+
+    if strategy is Strategy.ORIG:
+        placed = [
+            PlacedComm(e.latest_pos, [e]) for e in entries if e.latest_pos
+        ]
+        placed.sort(key=lambda pc: pc.position)
+        return placed, stats
+
+    if strategy is Strategy.EARLIEST:
+        placed = _place_earliest(ctx, entries, stats)
+        return placed, stats
+
+    state = PlacementState(ctx, entries)
+    if ctx.options.enable_subset_elimination:
+        stats["subset_emptied"] = subset_eliminate(ctx, state)
+    if ctx.options.enable_redundancy_elimination:
+        stats["redundant"] = redundancy_eliminate(ctx, state)
+    placed = greedy_choose(ctx, state)
+    stats["groups"] = len(placed)
+    return placed, stats
+
+
+def _place_earliest(
+    ctx: AnalysisContext, entries: list[CommEntry], stats: dict[str, int]
+) -> list[PlacedComm]:
+    """Earliest placement with forward redundancy elimination only."""
+
+    def dominance_key(entry: CommEntry) -> tuple[int, int, int]:
+        pos = entry.earliest_pos
+        assert pos is not None
+        node = ctx.node_of(pos)
+        return (ctx.dom.dominator_depth(node), pos.index, entry.id)
+
+    def covers(winner: CommEntry, loser: CommEntry) -> bool:
+        p, lp = winner.earliest_pos, loser.earliest_pos
+        assert p is not None and lp is not None
+        # Earliest-placement redundancy is backward-looking availability:
+        # the winner must already be placed at (or above) the loser's point
+        # — this is exactly why the scheme misses Figure 4's b1/b2 pair —
+        # and its placement must be a valid delivery point for the loser's
+        # data (inside the loser's candidate chain), subsuming it there.
+        return (
+            ctx.position_dominates(p, lp)
+            and p in loser.candidate_set()
+            and subsumes_at(ctx, winner, loser, p)
+        )
+
+    kept: list[CommEntry] = []
+    redundant = 0
+    for entry in sorted(entries, key=dominance_key):
+        killer = next((prior for prior in kept if covers(prior, entry)), None)
+        if killer is not None:
+            entry.eliminated_by = killer
+            killer.absorbed.append(entry)
+            redundant += 1
+            continue
+        # Pairwise check both ways (paper: each pair of entries placed at a
+        # point is tested): this entry may subsume an already-kept one.
+        for prior in list(kept):
+            if covers(entry, prior):
+                prior.eliminated_by = entry
+                entry.absorbed.append(prior)
+                kept.remove(prior)
+                redundant += 1
+        kept.append(entry)
+    stats["redundant"] = redundant
+    placed = [PlacedComm(e.earliest_pos, [e]) for e in kept if e.earliest_pos]
+    placed.sort(key=lambda pc: pc.position)
+    return placed
+
+
+def compile_program(
+    source: "str | ast.Program",
+    params: dict[str, int] | None = None,
+    strategy: "str | Strategy" = Strategy.GLOBAL,
+    options: CompilerOptions | None = None,
+) -> CompilationResult:
+    """Front door: compile mini-HPF source (or a parsed program) and place
+    its communication with the chosen strategy."""
+    program = parse(source) if isinstance(source, str) else source
+    info = elaborate(program, params)
+    scalarized = scalarize(program, info)
+    info = elaborate(scalarized, params)
+
+    ctx = AnalysisContext(info, options)
+    entries = analyze_entries(ctx)
+    strat = Strategy.parse(strategy)
+    placed, stats = place(ctx, entries, strat)
+    return CompilationResult(ctx, strat, entries, placed, stats)
+
+
+def compile_all_strategies(
+    source: "str | ast.Program",
+    params: dict[str, int] | None = None,
+    options: CompilerOptions | None = None,
+) -> dict[Strategy, CompilationResult]:
+    """Compile once per strategy (entries are re-analyzed per run because
+    placement mutates them)."""
+    return {
+        strat: compile_program(source, params, strat, options)
+        for strat in Strategy
+    }

@@ -1,0 +1,96 @@
+"""Global redundancy elimination (paper §4.6, Figure 9f).
+
+A communication ``(D1, M1)`` is made redundant by ``(D2, M2)`` when
+``D1 ⊆ D2`` and ``M2(D1) ⊇ M1(D1)`` — here: same array, same canonical
+mapping, and symbolic-section containment *evaluated at the shared
+candidate position* (sections widen as positions hoist, so the test is
+position-dependent).
+
+Unlike classic availability analysis, the subsumed entry is disabled not
+just at the discovering statement but at **every dominated position** —
+the key move that lets a *later-than-earliest* placement of ``b2`` fully
+eliminate ``b1`` in the paper's Figure 4, where earliest placement keeps
+both messages.
+
+When an entry loses all its active positions it is eliminated outright and
+attached to its subsumer, along with the set of positions where the
+coverage actually holds; the final group placement must land inside every
+such constraint set (Claim 4.7's safety).
+"""
+
+from __future__ import annotations
+
+from ..comm.entries import CommEntry
+from ..comm.patterns import mapping_subsumes
+from ..ir.cfg import Position
+from .context import AnalysisContext
+from .state import PlacementState
+
+
+def subsumes_at(
+    ctx: AnalysisContext, winner: CommEntry, loser: CommEntry, pos: Position
+) -> bool:
+    """Does ``winner``'s communication at ``pos`` fully cover ``loser``'s?"""
+    if winner is loser:
+        return False
+    if winner.array != loser.array:
+        return False
+    if winner.is_reduction != loser.is_reduction:
+        return False
+    if not mapping_subsumes(winner.pattern.mapping, loser.pattern.mapping):
+        return False
+    node = ctx.node_of(pos)
+    sec_w = ctx.sections.section_at(winner.use, node)
+    sec_l = ctx.sections.section_at(loser.use, node)
+    return sec_w.contains(sec_l)
+
+
+def coverage_positions(
+    ctx: AnalysisContext, winner: CommEntry, loser: CommEntry
+) -> set[Position]:
+    """Positions in both candidate chains where the subsumption holds —
+    the constraint set attached on elimination."""
+    shared = winner.candidate_set() & loser.candidate_set()
+    return {p for p in shared if subsumes_at(ctx, winner, loser, p)}
+
+
+def redundancy_eliminate(ctx: AnalysisContext, state: PlacementState) -> int:
+    """Figure 9f to a fixed point; returns how many entries were fully
+    eliminated."""
+    eliminated = 0
+    changed = True
+    while changed:
+        changed = False
+        for pos in state.all_positions():
+            ids = sorted(state.comm_set(pos))
+            for i in ids:
+                winner = state.by_id[i]
+                if not winner.alive:
+                    continue
+                for j in ids:
+                    loser = state.by_id[j]
+                    if not loser.alive or loser is winner:
+                        continue
+                    if pos not in state.active[loser.id]:
+                        continue
+                    if not subsumes_at(ctx, winner, loser, pos):
+                        continue
+                    state.deactivate_dominated(loser, pos)
+                    changed = True
+                    if not state.active[loser.id]:
+                        valid = coverage_positions(ctx, winner, loser)
+                        state.mark_eliminated(loser, winner, valid)
+                        # Transitive absorption: anything the loser had
+                        # absorbed moves to the winner, constraints intact.
+                        for moved in loser.absorbed:
+                            moved.eliminated_by = winner
+                            winner.absorbed.append(moved)
+                        loser.absorbed = []
+                        for constraint in state.absorb_constraints.pop(
+                            loser.id, []
+                        ):
+                            state.absorb_constraints.setdefault(
+                                winner.id, []
+                            ).append(constraint)
+                        eliminated += 1
+    return eliminated

@@ -1,0 +1,49 @@
+"""Subset elimination (paper §4.5).
+
+With the number and volume of messages prioritized over overlap, a
+position whose CommSet is a subset of another position's CommSet offers
+strictly less combining opportunity and can be dropped without hurting the
+final solution: ``CommSet(S1) ⊆ CommSet(S2)  ⇒  CommSet(S1) := ∅``.
+
+For *equal* sets either may be emptied (paper); we keep the later
+(dominance-deepest) position, consistent with the final push-late rule.
+The paper notes this step must be dropped if overlap optimization is ever
+added (§6) — the ablation benchmark exercises exactly that switch.
+"""
+
+from __future__ import annotations
+
+from ..ir.cfg import Position
+from .context import AnalysisContext
+from .state import PlacementState
+
+
+def subset_eliminate(ctx: AnalysisContext, state: PlacementState) -> int:
+    """Run subset elimination to a fixed point; returns the number of
+    positions emptied."""
+    emptied = 0
+    changed = True
+    while changed:
+        changed = False
+        positions = [p for p in state.all_positions() if state.comm_set(p)]
+        sets = {p: frozenset(state.comm_set(p)) for p in positions}
+        for p1 in positions:
+            s1 = sets[p1]
+            if not s1:
+                continue
+            for p2 in positions:
+                if p1 == p2:
+                    continue
+                s2 = sets[p2]
+                if not s1 <= s2:
+                    continue
+                if s1 == s2 and not ctx.position_dominates(p1, p2):
+                    # Equal sets: empty only the earlier position.
+                    continue
+                for eid in s1:
+                    state.deactivate(state.by_id[eid], p1)
+                sets[p1] = frozenset()
+                emptied += 1
+                changed = True
+                break
+    return emptied

@@ -1,0 +1,5 @@
+"""Array dependence analysis with direction vectors."""
+
+from .tests import DepResult, DependenceTester, NO_DEP
+
+__all__ = ["DepResult", "DependenceTester", "NO_DEP"]

@@ -1,0 +1,11 @@
+"""HPF data distribution: processor grids and array layouts."""
+
+from .layout import DimMapping, DistFormat, Layout, ProcessorGrid, replicated_layout
+
+__all__ = [
+    "DimMapping",
+    "DistFormat",
+    "Layout",
+    "ProcessorGrid",
+    "replicated_layout",
+]

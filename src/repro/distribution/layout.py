@@ -1,0 +1,190 @@
+"""HPF data layouts: processor grids, templates, and array distributions.
+
+A :class:`Layout` records, for one array, how each dimension is mapped:
+``BLOCK`` or ``CYCLIC`` onto an axis of a processor grid, or ``COLLAPSED``
+(``*`` in HPF) meaning the whole dimension lives on every owning processor.
+Layouts are produced by :mod:`repro.frontend.analysis` from the program's
+directives after parameter resolution, so all extents here are concrete
+integers.
+
+The communication analysis needs only a few questions answered:
+
+* are two layouts element-wise identical (same grid, formats, extents)?
+* which dimensions are distributed, and with what block size?
+* who owns element ``i`` of dimension ``d``?
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..errors import SemanticError
+
+
+class DistFormat(enum.Enum):
+    """Distribution format of one array/template dimension."""
+
+    BLOCK = "BLOCK"
+    CYCLIC = "CYCLIC"
+    COLLAPSED = "*"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class ProcessorGrid:
+    """A named Cartesian grid of processors, e.g. ``PROCESSORS p(5, 5)``."""
+
+    name: str
+    shape: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return math.prod(self.shape)
+
+    def __post_init__(self) -> None:
+        if not self.shape or any(s < 1 for s in self.shape):
+            raise SemanticError(f"processor grid {self.name!r} has invalid shape {self.shape}")
+
+
+@dataclass(frozen=True)
+class DimMapping:
+    """How one array dimension is mapped.
+
+    ``grid_axis`` is the axis of the processor grid this dimension is
+    distributed over, or ``None`` for collapsed dimensions.  ``extent`` is
+    the concrete dimension size (1-based indexing: valid indices are
+    ``1..extent``).
+    """
+
+    format: DistFormat
+    extent: int
+    grid_axis: int | None = None
+
+    def __post_init__(self) -> None:
+        distributed = self.format is not DistFormat.COLLAPSED
+        if distributed and self.grid_axis is None:
+            raise SemanticError("distributed dimension needs a grid axis")
+        if not distributed and self.grid_axis is not None:
+            raise SemanticError("collapsed dimension must not name a grid axis")
+        if self.extent < 1:
+            raise SemanticError(f"dimension extent must be positive, got {self.extent}")
+
+    @property
+    def is_distributed(self) -> bool:
+        return self.format is not DistFormat.COLLAPSED
+
+
+@dataclass(frozen=True)
+class Layout:
+    """The resolved mapping of one array onto a processor grid."""
+
+    array: str
+    grid: ProcessorGrid
+    dims: tuple[DimMapping, ...]
+    elem_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        used = [d.grid_axis for d in self.dims if d.grid_axis is not None]
+        if len(used) != len(set(used)):
+            raise SemanticError(
+                f"array {self.array!r}: two dimensions mapped to the same grid axis"
+            )
+        for d in self.dims:
+            if d.grid_axis is not None and d.grid_axis >= len(self.grid.shape):
+                raise SemanticError(
+                    f"array {self.array!r}: grid axis {d.grid_axis} out of range "
+                    f"for grid {self.grid.name!r}{self.grid.shape}"
+                )
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(d.extent for d in self.dims)
+
+    @property
+    def distributed_dims(self) -> tuple[int, ...]:
+        """Indices (0-based) of distributed array dimensions."""
+        return tuple(i for i, d in enumerate(self.dims) if d.is_distributed)
+
+    def procs_along(self, dim: int) -> int:
+        """Number of processors the given array dimension is spread over."""
+        m = self.dims[dim]
+        if m.grid_axis is None:
+            return 1
+        return self.grid.shape[m.grid_axis]
+
+    def block_size(self, dim: int) -> int:
+        """Block size of a BLOCK dimension: ceil(extent / procs)."""
+        m = self.dims[dim]
+        if m.format is not DistFormat.BLOCK:
+            raise SemanticError(f"dimension {dim} of {self.array!r} is not BLOCK")
+        return -(-m.extent // self.procs_along(dim))
+
+    def owner_coord(self, dim: int, index: int) -> int:
+        """Grid coordinate (along this dimension's grid axis) of the
+        processor owning 1-based ``index`` along ``dim``."""
+        m = self.dims[dim]
+        if not 1 <= index <= m.extent:
+            raise SemanticError(
+                f"index {index} out of bounds for dim {dim} of {self.array!r} "
+                f"(extent {m.extent})"
+            )
+        if m.format is DistFormat.COLLAPSED:
+            return 0
+        procs = self.procs_along(dim)
+        if m.format is DistFormat.BLOCK:
+            return (index - 1) // self.block_size(dim)
+        return (index - 1) % procs
+
+    def local_span(self, dim: int, coord: int) -> tuple[int, int]:
+        """Inclusive 1-based [lo, hi] owned by grid coordinate ``coord``
+        along a BLOCK dimension (empty span returns lo > hi)."""
+        m = self.dims[dim]
+        if m.format is not DistFormat.BLOCK:
+            raise SemanticError(f"local_span only defined for BLOCK dims")
+        bs = self.block_size(dim)
+        lo = coord * bs + 1
+        hi = min((coord + 1) * bs, m.extent)
+        return lo, hi
+
+    def same_mapping(self, other: "Layout") -> bool:
+        """True when the two arrays are element-wise identically mapped:
+        same grid, and per-dimension the same format, extent, and axis."""
+        return (
+            self.grid == other.grid
+            and len(self.dims) == len(other.dims)
+            and all(a == b for a, b in zip(self.dims, other.dims))
+        )
+
+    def distribution_signature(self) -> tuple:
+        """A hashable key identifying the mapping (ignoring the array name),
+        used to group compatible communications."""
+        return (self.grid.name, self.grid.shape, self.dims)
+
+    def total_elements(self) -> int:
+        return math.prod(self.shape)
+
+    def __str__(self) -> str:
+        fmt = ", ".join(
+            f"{d.format}" + (f"@{d.grid_axis}" if d.grid_axis is not None else "")
+            for d in self.dims
+        )
+        return f"{self.array}{self.shape} :: ({fmt}) onto {self.grid.name}{self.grid.shape}"
+
+
+def replicated_layout(array: str, shape: tuple[int, ...], grid: ProcessorGrid,
+                      elem_bytes: int = 8) -> Layout:
+    """A fully collapsed layout: the whole array on every processor.
+
+    Used for arrays without a DISTRIBUTE/ALIGN directive and for scalars
+    promoted to rank-0 arrays.
+    """
+    dims = tuple(DimMapping(DistFormat.COLLAPSED, extent) for extent in shape)
+    return Layout(array, grid, dims, elem_bytes)

@@ -1,0 +1,92 @@
+"""Exception hierarchy for the repro compiler.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+downstream user can catch a single exception type at an API boundary.  The
+subclasses mirror the phases of the compiler: lexing/parsing, semantic
+analysis, scalarization, dependence analysis, communication placement, code
+generation, and runtime simulation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SourceLocation:
+    """A (line, column) position in a mini-HPF source file.
+
+    Kept as a tiny value class rather than a tuple so error messages can
+    format themselves uniformly and so positions sort naturally.
+    """
+
+    __slots__ = ("line", "column")
+
+    def __init__(self, line: int, column: int) -> None:
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SourceLocation):
+            return NotImplemented
+        return (self.line, self.column) == (other.line, other.column)
+
+    def __lt__(self, other: "SourceLocation") -> bool:
+        return (self.line, self.column) < (other.line, other.column)
+
+    def __hash__(self) -> int:
+        return hash((self.line, self.column))
+
+
+class LexError(ReproError):
+    """Raised when the lexer encounters an unrecognized character."""
+
+    def __init__(self, message: str, location: SourceLocation) -> None:
+        super().__init__(f"lex error at {location}: {message}")
+        self.location = location
+
+
+class ParseError(ReproError):
+    """Raised when the parser encounters an unexpected token."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None) -> None:
+        where = f" at {location}" if location is not None else ""
+        super().__init__(f"parse error{where}: {message}")
+        self.location = location
+
+
+class SemanticError(ReproError):
+    """Raised for semantic violations: undeclared names, rank mismatches,
+    inconsistent distributions, and the like."""
+
+
+class ScalarizationError(ReproError):
+    """Raised when an F90 array statement cannot be scalarized (e.g. the
+    section extents of the two sides do not conform)."""
+
+
+class DependenceError(ReproError):
+    """Raised when dependence analysis is asked about malformed references."""
+
+
+class PlacementError(ReproError):
+    """Raised when communication placement reaches an inconsistent state.
+
+    A PlacementError coming out of the core algorithm indicates a bug in the
+    compiler, not in the user program; the invariant text in the message says
+    which claim of the paper was violated.
+    """
+
+
+class CodegenError(ReproError):
+    """Raised when SPMD code generation cannot emit a schedule."""
+
+
+class SimulationError(ReproError):
+    """Raised by the runtime simulator, e.g. when an executed schedule reads
+    remote data that no prior communication delivered (a placement-safety
+    violation)."""

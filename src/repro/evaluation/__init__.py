@@ -1,0 +1,5 @@
+"""Evaluation harnesses: the four benchmarks and every paper figure."""
+
+from .programs import BENCHMARKS, PAPER_TABLE
+
+__all__ = ["BENCHMARKS", "PAPER_TABLE"]

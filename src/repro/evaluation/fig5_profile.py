@@ -1,0 +1,107 @@
+"""Figure 5: buffer-copy and network-bandwidth profiles.
+
+The paper profiles both platforms with a ping-style microbenchmark and a
+local ``bcopy`` sweep, concluding that (a) message-startup amortization
+saturates at sizes well below the cache, so combining messages pays until
+roughly 20 KB, and (b) ``bcopy`` bandwidth collapses past the cache, so
+combining very large sections is counter-productive.
+
+This module regenerates the three curves per machine — bcopy bandwidth
+(top), injection bandwidth (middle), and receive bandwidth (bottom) — over
+a log-spaced size axis, and computes the derived *combining threshold*:
+the smallest message size at which the network achieves a target fraction
+of its asymptotic bandwidth (the knee the paper reads ~20 KB off for the
+SP2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.model import MACHINES, MachineModel
+
+
+def size_axis(lo: int = 16, hi: int = 4 * 1024 * 1024) -> list[int]:
+    """Log-spaced buffer sizes (powers of two), like the paper's x-axis."""
+    sizes = []
+    s = lo
+    while s <= hi:
+        sizes.append(s)
+        s *= 2
+    return sizes
+
+
+@dataclass(frozen=True)
+class ProfilePoint:
+    nbytes: int
+    bcopy_bw: float  # bytes/s
+    inject_bw: float
+    receive_bw: float
+
+
+@dataclass(frozen=True)
+class Profile:
+    machine: str
+    points: list[ProfilePoint]
+
+    def knee(self, fraction: float = 0.8) -> int:
+        """Smallest size reaching ``fraction`` of asymptotic receive
+        bandwidth — the paper's combining-threshold estimate."""
+        target = fraction * max(p.receive_bw for p in self.points)
+        for p in self.points:
+            if p.receive_bw >= target:
+                return p.nbytes
+        return self.points[-1].nbytes
+
+    def cache_cliff(self) -> int:
+        """Size at which bcopy bandwidth starts dropping (cache limit)."""
+        best = max(p.bcopy_bw for p in self.points)
+        for p in self.points:
+            if p.bcopy_bw < 0.95 * best and p.nbytes > 1024:
+                return p.nbytes
+        return self.points[-1].nbytes
+
+
+def profile_machine(machine: MachineModel, sizes: list[int] | None = None) -> Profile:
+    sizes = sizes or size_axis()
+    points = [
+        ProfilePoint(
+            nbytes=s,
+            bcopy_bw=machine.bcopy_bandwidth(s),
+            inject_bw=machine.injection_bandwidth(s),
+            receive_bw=machine.network_bandwidth(s),
+        )
+        for s in sizes
+    ]
+    return Profile(machine.name, points)
+
+
+def run_all() -> list[Profile]:
+    return [profile_machine(m) for m in MACHINES.values()]
+
+
+def format_profile(profile: Profile) -> str:
+    lines = [
+        f"== Figure 5: {profile.machine} (bandwidths in MB/s)",
+        f"{'bytes':>9s} {'bcopy':>8s} {'inject':>8s} {'receive':>8s}",
+    ]
+    for p in profile.points:
+        lines.append(
+            f"{p.nbytes:9d} {p.bcopy_bw/1e6:8.1f} {p.inject_bw/1e6:8.1f} "
+            f"{p.receive_bw/1e6:8.1f}"
+        )
+    lines.append(
+        f"knee(80% bw) = {profile.knee()} bytes; "
+        f"bcopy cache cliff = {profile.cache_cliff()} bytes"
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    for profile in run_all():
+        print(format_profile(profile))
+        print()
+
+
+if __name__ == "__main__":
+    main()

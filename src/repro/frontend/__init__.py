@@ -1,0 +1,19 @@
+"""Mini-HPF frontend: lexer, parser, elaboration, scalarizer, builder."""
+
+from .analysis import ProgramInfo, elaborate, to_affine
+from .builder import ProgramBuilder, sqrt_of, sum_of
+from .parser import parse
+from .printer import unparse
+from .scalarizer import scalarize
+
+__all__ = [
+    "ProgramBuilder",
+    "ProgramInfo",
+    "elaborate",
+    "parse",
+    "scalarize",
+    "sqrt_of",
+    "sum_of",
+    "to_affine",
+    "unparse",
+]

@@ -1,0 +1,348 @@
+"""Abstract syntax tree for the mini-HPF language.
+
+The language is a small data-parallel Fortran dialect: scalar and array
+declarations, HPF mapping directives (``PROCESSORS``, ``TEMPLATE``,
+``DISTRIBUTE``, ``ALIGN``), ``DO`` loops, ``IF`` statements, F90 array-
+section assignments, and reduction intrinsics (``SUM``, ``MIN``, ``MAX``).
+It is rich enough to express the paper's running example (Figure 4), the
+motivating codes (Figures 1-3), and the four evaluation benchmarks.
+
+Every statement node carries a source location and, after numbering by
+:func:`number_statements`, a stable integer id ``sid`` used throughout the
+analysis and in human-readable reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+from ..errors import SourceLocation
+
+NOWHERE = SourceLocation(0, 0)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Num:
+    """A numeric literal (integer or floating point)."""
+
+    value: float
+
+    def __str__(self) -> str:
+        if float(self.value).is_integer():
+            return str(int(self.value))
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class VarRef:
+    """A reference to a scalar variable, parameter, or loop index."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Index:
+    """A subscript that selects a single element along one dimension."""
+
+    expr: "Expr"
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+@dataclass(frozen=True)
+class Triplet:
+    """An F90 section triplet ``lo:hi:step`` along one dimension.
+
+    ``None`` bounds mean "the declared extent"; a bare ``:`` is
+    ``Triplet(None, None, None)``.
+    """
+
+    lo: Optional["Expr"] = None
+    hi: Optional["Expr"] = None
+    step: Optional["Expr"] = None
+
+    def __str__(self) -> str:
+        lo = "" if self.lo is None else str(self.lo)
+        hi = "" if self.hi is None else str(self.hi)
+        if self.step is None:
+            return f"{lo}:{hi}"
+        return f"{lo}:{hi}:{self.step}"
+
+
+Subscript = Union[Index, Triplet]
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """A subscripted array reference, possibly a section."""
+
+    name: str
+    subscripts: tuple[Subscript, ...]
+
+    @property
+    def has_section(self) -> bool:
+        return any(isinstance(s, Triplet) for s in self.subscripts)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(s) for s in self.subscripts)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """A binary arithmetic or comparison operation."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnOp:
+    """A unary operation (negation, logical not)."""
+
+    op: str
+    operand: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.op}{self.operand})"
+
+
+@dataclass(frozen=True)
+class Reduction:
+    """A reduction intrinsic over an array section: ``SUM(a(i, :))``."""
+
+    op: str  # SUM, MIN, MAX
+    arg: ArrayRef
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.arg})"
+
+
+@dataclass(frozen=True)
+class Intrinsic:
+    """A non-reduction intrinsic call: SQRT, ABS, MOD, CSHIFT, ..."""
+
+    name: str
+    args: tuple["Expr", ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+Expr = Union[Num, VarRef, ArrayRef, BinOp, UnOp, Reduction, Intrinsic]
+
+
+def walk_expr(expr: Expr) -> Iterator[Expr]:
+    """Yield ``expr`` and every sub-expression, preorder.
+
+    Subscript expressions inside :class:`ArrayRef` are visited too.
+    """
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, UnOp):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, Reduction):
+        yield from walk_expr(expr.arg)
+    elif isinstance(expr, Intrinsic):
+        for a in expr.args:
+            yield from walk_expr(a)
+    elif isinstance(expr, ArrayRef):
+        for s in expr.subscripts:
+            if isinstance(s, Index):
+                yield from walk_expr(s.expr)
+            else:
+                for part in (s.lo, s.hi, s.step):
+                    if part is not None:
+                        yield from walk_expr(part)
+
+
+def array_refs(expr: Expr) -> Iterator[ArrayRef]:
+    """Yield every :class:`ArrayRef` appearing in ``expr``."""
+    for node in walk_expr(expr):
+        if isinstance(node, ArrayRef):
+            yield node
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Assign:
+    """An assignment ``lhs = rhs``; the lhs may be a scalar or an array
+    reference (element or F90 section)."""
+
+    lhs: Union[VarRef, ArrayRef]
+    rhs: Expr
+    loc: SourceLocation = field(default_factory=lambda: NOWHERE)
+    sid: int = -1
+
+    def __str__(self) -> str:
+        return f"{self.lhs} = {self.rhs}"
+
+
+@dataclass
+class Do:
+    """A counted DO loop ``DO var = lo, hi [, step]``."""
+
+    var: str
+    lo: Expr
+    hi: Expr
+    step: Expr
+    body: list["Stmt"]
+    loc: SourceLocation = field(default_factory=lambda: NOWHERE)
+    sid: int = -1
+
+    def __str__(self) -> str:
+        return f"DO {self.var} = {self.lo}, {self.hi}, {self.step}"
+
+
+@dataclass
+class If:
+    """A two-way conditional."""
+
+    cond: Expr
+    then_body: list["Stmt"]
+    else_body: list["Stmt"]
+    loc: SourceLocation = field(default_factory=lambda: NOWHERE)
+    sid: int = -1
+
+    def __str__(self) -> str:
+        return f"IF {self.cond}"
+
+
+Stmt = Union[Assign, Do, If]
+
+
+def walk_stmts(body: list[Stmt]) -> Iterator[Stmt]:
+    """Yield every statement in ``body``, preorder, recursing into loop and
+    conditional bodies."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, Do):
+            yield from walk_stmts(stmt.body)
+        elif isinstance(stmt, If):
+            yield from walk_stmts(stmt.then_body)
+            yield from walk_stmts(stmt.else_body)
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ParamDecl:
+    """A compile-time integer parameter: ``PARAM n = 64``.
+
+    The declared value is a default; the compiler may be invoked with an
+    override binding so one parse supports a problem-size sweep.
+    """
+
+    name: str
+    value: int
+
+
+@dataclass
+class ProcessorsDecl:
+    """A processor grid: ``PROCESSORS p(4, 4)``."""
+
+    name: str
+    shape: tuple[Expr, ...]
+
+
+@dataclass
+class TemplateDecl:
+    """An alignment template: ``TEMPLATE t(n, n)``."""
+
+    name: str
+    shape: tuple[Expr, ...]
+
+
+@dataclass
+class DistributeDecl:
+    """``DISTRIBUTE t(BLOCK, BLOCK) ONTO p`` — formats are 'BLOCK',
+    'CYCLIC', or '*' (collapsed / on-processor)."""
+
+    target: str
+    formats: tuple[str, ...]
+    onto: str
+
+
+@dataclass
+class AlignDecl:
+    """``ALIGN a WITH t`` — identity alignment of an array to a template
+    (or to another array)."""
+
+    array: str
+    target: str
+
+
+@dataclass
+class ArrayDecl:
+    """``REAL a(n, n)`` — element type is recorded but everything is
+    simulated in doubles (8 bytes), as in the paper's experiments."""
+
+    name: str
+    dims: tuple[Expr, ...]
+    elem_type: str = "REAL"
+    elem_bytes: int = 8
+
+
+@dataclass
+class ScalarDecl:
+    """``REAL s`` — scalars are replicated on all processors."""
+
+    name: str
+    elem_type: str = "REAL"
+
+
+Decl = Union[
+    ParamDecl,
+    ProcessorsDecl,
+    TemplateDecl,
+    DistributeDecl,
+    AlignDecl,
+    ArrayDecl,
+    ScalarDecl,
+]
+
+
+@dataclass
+class Program:
+    """A whole mini-HPF program: declarations followed by statements."""
+
+    name: str
+    decls: list[Decl]
+    body: list[Stmt]
+
+    def statements(self) -> Iterator[Stmt]:
+        return walk_stmts(self.body)
+
+
+def number_statements(program: Program) -> None:
+    """Assign each statement a stable, dense preorder id (``sid``).
+
+    Re-run after any transformation that adds or removes statements (the
+    scalarizer does this automatically).
+    """
+    for sid, stmt in enumerate(program.statements(), start=1):
+        stmt.sid = sid

@@ -1,0 +1,329 @@
+"""Programmatic construction of mini-HPF programs.
+
+For tooling (generators, fuzzers, embedding the compiler in another
+system) the textual frontend is clumsy; :class:`ProgramBuilder` offers a
+fluent API that produces the same AST the parser does:
+
+    b = ProgramBuilder("jacobi")
+    b.param("n", 64)
+    b.processors("p", 2, 2)
+    t = b.template("t", "n", "n").distribute("BLOCK", "BLOCK", onto="p")
+    u = b.real("u", "n", "n", align=t)
+    w = b.real("w", "n", "n", align=t)
+    with b.do("sweep", 1, 10):
+        b.assign(w["2:n-1", "2:n-1"],
+                 0.25 * (u["1:n-2", "2:n-1"] + u["3:n", "2:n-1"]))
+        b.assign(u["2:n-1", "2:n-1"], w["2:n-1", "2:n-1"])
+    program = b.build()
+
+Expressions compose with Python operators; subscripts accept integers,
+strings (parsed as index or triplet expressions), or slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..errors import ParseError
+from . import ast_nodes as ast
+from .lexer import tokenize
+from .parser import Parser
+
+
+def _parse_expr(text: str) -> ast.Expr:
+    """Parse a standalone expression (used for string operands)."""
+    parser = Parser(tokenize(text))
+    expr = parser._parse_expr()
+    if not parser._at("NEWLINE", "EOF"):
+        raise ParseError(f"trailing input in expression {text!r}")
+    return expr
+
+
+def _to_expr(value: "ExprLike") -> ast.Expr:
+    if isinstance(value, Expr):
+        return value.node
+    if isinstance(value, (int, float)):
+        return ast.Num(float(value))
+    if isinstance(value, str):
+        return _parse_expr(value)
+    if isinstance(
+        value,
+        (ast.Num, ast.VarRef, ast.ArrayRef, ast.BinOp, ast.UnOp,
+         ast.Reduction, ast.Intrinsic),
+    ):
+        return value
+    raise TypeError(f"cannot convert {value!r} to an expression")
+
+
+@dataclass(frozen=True)
+class Expr:
+    """A composable expression wrapper."""
+
+    node: ast.Expr
+
+    def _bin(self, op: str, other: "ExprLike", swapped: bool = False) -> "Expr":
+        left, right = self.node, _to_expr(other)
+        if swapped:
+            left, right = right, left
+        return Expr(ast.BinOp(op, left, right))
+
+    def __add__(self, other):
+        return self._bin("+", other)
+
+    def __radd__(self, other):
+        return self._bin("+", other, swapped=True)
+
+    def __sub__(self, other):
+        return self._bin("-", other)
+
+    def __rsub__(self, other):
+        return self._bin("-", other, swapped=True)
+
+    def __mul__(self, other):
+        return self._bin("*", other)
+
+    def __rmul__(self, other):
+        return self._bin("*", other, swapped=True)
+
+    def __truediv__(self, other):
+        return self._bin("/", other)
+
+    def __rtruediv__(self, other):
+        return self._bin("/", other, swapped=True)
+
+    def __neg__(self):
+        return Expr(ast.UnOp("-", self.node))
+
+    def __gt__(self, other):
+        return self._bin(">", other)
+
+    def __lt__(self, other):
+        return self._bin("<", other)
+
+
+ExprLike = Union[Expr, ast.Expr, int, float, str]
+
+
+def _subscript(item) -> ast.Subscript:
+    if isinstance(item, ast.Index) or isinstance(item, ast.Triplet):
+        return item
+    if isinstance(item, slice):
+        lo = None if item.start is None else _to_expr(item.start)
+        hi = None if item.stop is None else _to_expr(item.stop)
+        step = None if item.step is None else _to_expr(item.step)
+        return ast.Triplet(lo, hi, step)
+    if isinstance(item, str) and (":" in item or item.strip() == ":"):
+        text = item.strip()
+        if text == ":":
+            return ast.Triplet(None, None, None)
+        parts = _split_triplet(text)
+        lo = _parse_expr(parts[0]) if parts[0] else None
+        hi = _parse_expr(parts[1]) if len(parts) > 1 and parts[1] else None
+        step = _parse_expr(parts[2]) if len(parts) > 2 and parts[2] else None
+        return ast.Triplet(lo, hi, step)
+    return ast.Index(_to_expr(item))
+
+
+def _split_triplet(text: str) -> list[str]:
+    """Split 'lo:hi:step' at top-level colons (parens protected)."""
+    parts, depth, cur = [], 0, []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == ":" and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    parts.append("".join(cur))
+    return parts
+
+
+@dataclass(frozen=True)
+class ArrayHandle:
+    """A declared array; indexing produces reference expressions."""
+
+    name: str
+
+    def __getitem__(self, items) -> Expr:
+        if not isinstance(items, tuple):
+            items = (items,)
+        return Expr(ast.ArrayRef(self.name, tuple(_subscript(i) for i in items)))
+
+    def ref(self, *items) -> Expr:
+        return self[items if len(items) != 1 else items[0]]
+
+
+@dataclass(frozen=True)
+class ScalarHandle:
+    name: str
+
+    @property
+    def expr(self) -> Expr:
+        return Expr(ast.VarRef(self.name))
+
+
+@dataclass(frozen=True)
+class TemplateHandle:
+    name: str
+    builder: "ProgramBuilder"
+
+    def distribute(self, *formats: str, onto: str) -> "TemplateHandle":
+        self.builder._decls.append(
+            ast.DistributeDecl(self.name, tuple(formats), onto)
+        )
+        return self
+
+
+def sum_of(ref: ExprLike) -> Expr:
+    node = _to_expr(ref)
+    if not isinstance(node, ast.ArrayRef):
+        raise TypeError("SUM expects an array reference")
+    return Expr(ast.Reduction("SUM", node))
+
+
+def sqrt_of(value: ExprLike) -> Expr:
+    return Expr(ast.Intrinsic("SQRT", (_to_expr(value),)))
+
+
+@dataclass
+class _BlockFrame:
+    body: list[ast.Stmt] = field(default_factory=list)
+
+
+class ProgramBuilder:
+    """Fluent builder producing a numbered :class:`Program`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._decls: list[ast.Decl] = []
+        self._frames: list[_BlockFrame] = [_BlockFrame()]
+
+    # -- declarations ------------------------------------------------------------
+
+    def param(self, name: str, value: int) -> ScalarHandle:
+        self._decls.append(ast.ParamDecl(name, value))
+        return ScalarHandle(name)
+
+    def processors(self, name: str, *shape: int) -> str:
+        self._decls.append(
+            ast.ProcessorsDecl(name, tuple(ast.Num(s) for s in shape))
+        )
+        return name
+
+    def template(self, name: str, *dims: ExprLike) -> TemplateHandle:
+        self._decls.append(
+            ast.TemplateDecl(name, tuple(_to_expr(d) for d in dims))
+        )
+        return TemplateHandle(name, self)
+
+    def real(
+        self,
+        name: str,
+        *dims: ExprLike,
+        align: "TemplateHandle | ArrayHandle | str | None" = None,
+        distribute: tuple[str, ...] | None = None,
+        onto: str | None = None,
+    ) -> "ArrayHandle | ScalarHandle":
+        if not dims:
+            self._decls.append(ast.ScalarDecl(name))
+            return ScalarHandle(name)
+        self._decls.append(
+            ast.ArrayDecl(name, tuple(_to_expr(d) for d in dims))
+        )
+        if align is not None:
+            target = align if isinstance(align, str) else align.name
+            self._decls.append(ast.AlignDecl(name, target))
+        if distribute is not None:
+            if onto is None:
+                raise ValueError("distribute requires onto=")
+            self._decls.append(ast.DistributeDecl(name, distribute, onto))
+        return ArrayHandle(name)
+
+    # -- statements --------------------------------------------------------------
+
+    def assign(self, lhs: "Expr | ScalarHandle", rhs: ExprLike) -> None:
+        if isinstance(lhs, ScalarHandle):
+            target: ast.VarRef | ast.ArrayRef = ast.VarRef(lhs.name)
+        else:
+            node = lhs.node
+            if not isinstance(node, (ast.ArrayRef, ast.VarRef)):
+                raise TypeError(f"cannot assign to {node!r}")
+            target = node
+        self._frames[-1].body.append(ast.Assign(target, _to_expr(rhs)))
+
+    def do(self, var: str, lo: ExprLike, hi: ExprLike, step: ExprLike = 1):
+        return _LoopContext(self, var, lo, hi, step)
+
+    def if_(self, cond: ExprLike):
+        return _IfContext(self, cond)
+
+    # -- assembly ------------------------------------------------------------
+
+    def build(self) -> ast.Program:
+        if len(self._frames) != 1:
+            raise ParseError("unclosed control-flow block in builder")
+        program = ast.Program(self.name, list(self._decls),
+                              list(self._frames[0].body))
+        ast.number_statements(program)
+        return program
+
+
+class _LoopContext:
+    def __init__(self, builder: ProgramBuilder, var, lo, hi, step) -> None:
+        self.builder = builder
+        self.var = var
+        self.bounds = (_to_expr(lo), _to_expr(hi), _to_expr(step))
+
+    def __enter__(self):
+        self.builder._frames.append(_BlockFrame())
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        frame = self.builder._frames.pop()
+        if exc_type is None:
+            lo, hi, step = self.bounds
+            self.builder._frames[-1].body.append(
+                ast.Do(self.var, lo, hi, step, frame.body)
+            )
+        return False
+
+
+class _IfContext:
+    def __init__(self, builder: ProgramBuilder, cond) -> None:
+        self.builder = builder
+        self.cond = _to_expr(cond)
+        self.then_body: list[ast.Stmt] | None = None
+
+    def __enter__(self):
+        self.builder._frames.append(_BlockFrame())
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        frame = self.builder._frames.pop()
+        if exc_type is None:
+            if self.then_body is None:
+                self.builder._frames[-1].body.append(
+                    ast.If(self.cond, frame.body, [])
+                )
+            else:
+                self.builder._frames[-1].body.append(
+                    ast.If(self.cond, self.then_body, frame.body)
+                )
+        return False
+
+    def otherwise(self):
+        """Close the then-branch and open the else-branch:
+
+            with b.if_(cond) as branch:
+                ...then statements...
+                branch.otherwise()
+                ...else statements...
+        """
+        frame = self.builder._frames[-1]
+        self.then_body = list(frame.body)
+        frame.body.clear()
+        return self

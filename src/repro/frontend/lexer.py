@@ -1,0 +1,179 @@
+"""Tokenizer for the mini-HPF language.
+
+Keywords and identifiers are case-insensitive (as in Fortran); identifiers
+are folded to lower case, keywords to upper case.  ``!`` starts a comment
+that runs to end of line.  Newlines are significant (they terminate
+statements) but a trailing ``&`` continues a statement onto the next line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import LexError, SourceLocation
+
+KEYWORDS = {
+    "PROGRAM",
+    "END",
+    "PARAM",
+    "PROCESSORS",
+    "TEMPLATE",
+    "DISTRIBUTE",
+    "ONTO",
+    "ALIGN",
+    "WITH",
+    "REAL",
+    "INTEGER",
+    "LOGICAL",
+    "BLOCK",
+    "CYCLIC",
+    "DO",
+    "IF",
+    "THEN",
+    "ELSE",
+    "AND",
+    "OR",
+    "NOT",
+}
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "==",
+    "/=",
+    "<=",
+    ">=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "<",
+    ">",
+    "(",
+    ")",
+    ",",
+    ":",
+    "=",
+    ";",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: a ``kind``, its source ``text``, and location.
+
+    Kinds: ``IDENT``, ``NUMBER``, ``NEWLINE``, ``EOF``, any keyword string,
+    or the operator text itself.
+    """
+
+    kind: str
+    text: str
+    loc: SourceLocation
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.loc})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert mini-HPF source text into a token list ending with EOF."""
+    tokens: list[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+
+    def loc() -> SourceLocation:
+        return SourceLocation(line, col)
+
+    def emit(kind: str, text: str) -> None:
+        tokens.append(Token(kind, text, loc()))
+
+    while i < n:
+        ch = source[i]
+
+        if ch == "!":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+
+        if ch == "&":
+            # Line continuation: swallow everything through the next newline.
+            j = i + 1
+            while j < n and source[j] in " \t\r":
+                j += 1
+            if j < n and source[j] == "!":
+                while j < n and source[j] != "\n":
+                    j += 1
+            if j < n and source[j] == "\n":
+                i = j + 1
+                line += 1
+                col = 1
+                continue
+            raise LexError("'&' must end a line", loc())
+
+        if ch == "\n":
+            if tokens and tokens[-1].kind not in ("NEWLINE",):
+                emit("NEWLINE", "\n")
+            i += 1
+            line += 1
+            col = 1
+            continue
+
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            seen_exp = False
+            while i < n:
+                c = source[i]
+                if c.isdigit():
+                    i += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    # Don't eat '..' or a '.' that starts '.AND.' style text;
+                    # the language has no ranges with '..' so a single dot
+                    # following digits is always part of the number.
+                    seen_dot = True
+                    i += 1
+                elif c in "eEdD" and not seen_exp and i + 1 < n and (
+                    source[i + 1].isdigit()
+                    or (source[i + 1] in "+-" and i + 2 < n and source[i + 2].isdigit())
+                ):
+                    seen_exp = True
+                    i += 1
+                    if source[i] in "+-":
+                        i += 1
+                else:
+                    break
+            text = source[start:i]
+            emit("NUMBER", text.replace("d", "e").replace("D", "e"))
+            col += i - start
+            continue
+
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            upper = text.upper()
+            if upper in KEYWORDS:
+                emit(upper, upper)
+            else:
+                emit("IDENT", text.lower())
+            col += i - start
+            continue
+
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                kind = "NEWLINE" if op == ";" else op
+                emit(kind, op)
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", loc())
+
+    tokens.append(Token("EOF", "", SourceLocation(line, col)))
+    return tokens

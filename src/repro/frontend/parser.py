@@ -1,0 +1,386 @@
+"""Recursive-descent parser for the mini-HPF language.
+
+Grammar sketch (newline-terminated statements, ``&`` continuation)::
+
+    program    : 'PROGRAM' IDENT NL (decl NL)* (stmt NL)* 'END' ['PROGRAM']
+    decl       : 'PARAM' ident '=' NUMBER
+               | 'PROCESSORS' ident '(' exprlist ')'
+               | 'TEMPLATE' ident '(' exprlist ')'
+               | 'DISTRIBUTE' ident '(' fmtlist ')' 'ONTO' ident
+               | 'ALIGN' ident 'WITH' ident
+               | type ident [ '(' exprlist ')' ] [ 'ALIGN' 'WITH' ident ]
+    stmt       : do | if | assign
+    do         : 'DO' ident '=' expr ',' expr [',' expr] NL stmt* 'END' 'DO'
+    if         : 'IF' expr 'THEN' NL stmt* ['ELSE' NL stmt*] 'END' 'IF'
+    assign     : lvalue '=' expr
+    expr       : disjunction of comparisons over +,-,*,/ with unary minus
+
+Reduction intrinsics are ``SUM``, ``MAXVAL``, ``MINVAL``; other recognized
+intrinsics (``SQRT``, ``ABS``, ``MOD``, ``MIN``, ``MAX``, ``EXP``, ``LOG``,
+``CSHIFT``) parse as :class:`Intrinsic`.  Any other applied identifier is an
+array reference (declaration checking happens later, in
+:mod:`repro.frontend.analysis`).
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from . import ast_nodes as ast
+from .lexer import Token, tokenize
+
+REDUCTION_NAMES = {"sum": "SUM", "maxval": "MAX", "minval": "MIN"}
+INTRINSIC_NAMES = {"sqrt", "abs", "mod", "min", "max", "exp", "log", "cshift"}
+_TYPE_KEYWORDS = ("REAL", "INTEGER", "LOGICAL")
+
+
+class Parser:
+    """One-token-lookahead recursive-descent parser."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._pending_align: ast.AlignDecl | None = None
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _at(self, *kinds: str) -> bool:
+        return self._cur.kind in kinds
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        if tok.kind != "EOF":
+            self._pos += 1
+        return tok
+
+    def _expect(self, kind: str) -> Token:
+        if self._cur.kind != kind:
+            raise ParseError(
+                f"expected {kind!r}, found {self._cur.kind!r} ({self._cur.text!r})",
+                self._cur.loc,
+            )
+        return self._advance()
+
+    def _accept(self, kind: str) -> Token | None:
+        if self._cur.kind == kind:
+            return self._advance()
+        return None
+
+    def _skip_newlines(self) -> None:
+        while self._accept("NEWLINE"):
+            pass
+
+    def _end_of_statement(self) -> None:
+        if self._at("EOF"):
+            return
+        self._expect("NEWLINE")
+        self._skip_newlines()
+
+    # -- program -------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        self._skip_newlines()
+        self._expect("PROGRAM")
+        name = self._expect("IDENT").text
+        self._end_of_statement()
+
+        decls: list[ast.Decl] = []
+        while self._is_decl_start():
+            decls.append(self._parse_decl())
+            self._end_of_statement()
+
+        body = self._parse_stmt_list(("END",))
+        self._expect("END")
+        self._accept("PROGRAM")
+        self._skip_newlines()
+        self._expect("EOF")
+        program = ast.Program(name, decls, body)
+        ast.number_statements(program)
+        return program
+
+    def _is_decl_start(self) -> bool:
+        return self._at(
+            "PARAM", "PROCESSORS", "TEMPLATE", "DISTRIBUTE", "ALIGN", *_TYPE_KEYWORDS
+        )
+
+    # -- declarations ----------------------------------------------------------
+
+    def _parse_decl(self) -> ast.Decl:
+        if self._accept("PARAM"):
+            name = self._expect("IDENT").text
+            self._expect("=")
+            negative = self._accept("-") is not None
+            value_tok = self._expect("NUMBER")
+            value = int(float(value_tok.text))
+            return ast.ParamDecl(name, -value if negative else value)
+
+        if self._accept("PROCESSORS"):
+            name = self._expect("IDENT").text
+            shape = self._parse_paren_exprs()
+            return ast.ProcessorsDecl(name, shape)
+
+        if self._accept("TEMPLATE"):
+            name = self._expect("IDENT").text
+            shape = self._parse_paren_exprs()
+            return ast.TemplateDecl(name, shape)
+
+        if self._accept("DISTRIBUTE"):
+            target = self._expect("IDENT").text
+            self._expect("(")
+            formats = [self._parse_dist_format()]
+            while self._accept(","):
+                formats.append(self._parse_dist_format())
+            self._expect(")")
+            self._expect("ONTO")
+            onto = self._expect("IDENT").text
+            return ast.DistributeDecl(target, tuple(formats), onto)
+
+        if self._accept("ALIGN"):
+            array = self._expect("IDENT").text
+            self._expect("WITH")
+            target = self._expect("IDENT").text
+            return ast.AlignDecl(array, target)
+
+        for type_kw in _TYPE_KEYWORDS:
+            if self._accept(type_kw):
+                name = self._expect("IDENT").text
+                if self._at("("):
+                    dims = self._parse_paren_exprs()
+                    if self._accept("ALIGN"):
+                        self._expect("WITH")
+                        target = self._expect("IDENT").text
+                        # An inline ALIGN expands to two declarations at the
+                        # builder level; here we keep them separate by
+                        # returning the array decl and queueing the align.
+                        self._pending_align = ast.AlignDecl(name, target)
+                        decl = ast.ArrayDecl(name, dims, elem_type=type_kw)
+                        return decl
+                    return ast.ArrayDecl(name, dims, elem_type=type_kw)
+                return ast.ScalarDecl(name, elem_type=type_kw)
+
+        raise ParseError(f"expected a declaration, found {self._cur.kind!r}", self._cur.loc)
+
+    def _parse_dist_format(self) -> str:
+        if self._accept("BLOCK"):
+            return "BLOCK"
+        if self._accept("CYCLIC"):
+            return "CYCLIC"
+        if self._accept("*"):
+            return "*"
+        raise ParseError(
+            f"expected BLOCK, CYCLIC or '*', found {self._cur.text!r}", self._cur.loc
+        )
+
+    def _parse_paren_exprs(self) -> tuple[ast.Expr, ...]:
+        self._expect("(")
+        items = [self._parse_expr()]
+        while self._accept(","):
+            items.append(self._parse_expr())
+        self._expect(")")
+        return tuple(items)
+
+    # -- statements --------------------------------------------------------------
+
+    def _parse_stmt_list(self, stop_kinds: tuple[str, ...]) -> list[ast.Stmt]:
+        self._skip_newlines()
+        stmts: list[ast.Stmt] = []
+        while not self._at(*stop_kinds, "EOF"):
+            stmts.append(self._parse_stmt())
+        return stmts
+
+    def _parse_stmt(self) -> ast.Stmt:
+        loc = self._cur.loc
+        if self._accept("DO"):
+            var = self._expect("IDENT").text
+            self._expect("=")
+            lo = self._parse_expr()
+            self._expect(",")
+            hi = self._parse_expr()
+            step: ast.Expr = ast.Num(1)
+            if self._accept(","):
+                step = self._parse_expr()
+            self._end_of_statement()
+            body = self._parse_stmt_list(("END",))
+            self._expect("END")
+            self._expect("DO")
+            self._end_of_statement()
+            return ast.Do(var, lo, hi, step, body, loc=loc)
+
+        if self._accept("IF"):
+            cond = self._parse_expr()
+            self._expect("THEN")
+            self._end_of_statement()
+            then_body = self._parse_stmt_list(("ELSE", "END"))
+            else_body: list[ast.Stmt] = []
+            if self._accept("ELSE"):
+                self._end_of_statement()
+                else_body = self._parse_stmt_list(("END",))
+            self._expect("END")
+            self._expect("IF")
+            self._end_of_statement()
+            return ast.If(cond, then_body, else_body, loc=loc)
+
+        # Assignment.
+        name = self._expect("IDENT").text
+        lhs: ast.VarRef | ast.ArrayRef
+        if self._at("("):
+            lhs = ast.ArrayRef(name, self._parse_subscripts())
+        else:
+            lhs = ast.VarRef(name)
+        self._expect("=")
+        rhs = self._parse_expr()
+        self._end_of_statement()
+        return ast.Assign(lhs, rhs, loc=loc)
+
+    # -- expressions ----------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._accept("OR"):
+            right = self._parse_and()
+            left = ast.BinOp("OR", left, right)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self._accept("AND"):
+            right = self._parse_not()
+            left = ast.BinOp("AND", left, right)
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self._accept("NOT"):
+            return ast.UnOp("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_additive()
+        for op in ("==", "/=", "<=", ">=", "<", ">"):
+            if self._accept(op):
+                right = self._parse_additive()
+                return ast.BinOp(op, left, right)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self._at("+", "-"):
+            op = self._advance().kind
+            right = self._parse_multiplicative()
+            left = ast.BinOp(op, left, right)
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self._at("*", "/"):
+            op = self._advance().kind
+            right = self._parse_unary()
+            left = ast.BinOp(op, left, right)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self._accept("-"):
+            return ast.UnOp("-", self._parse_unary())
+        if self._accept("+"):
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        if self._at("NUMBER"):
+            text = self._advance().text
+            return ast.Num(float(text))
+        if self._accept("("):
+            inner = self._parse_expr()
+            self._expect(")")
+            return inner
+        if self._at("IDENT"):
+            name = self._advance().text
+            if not self._at("("):
+                return ast.VarRef(name)
+            if name in REDUCTION_NAMES:
+                self._expect("(")
+                arg = self._parse_expr()
+                self._expect(")")
+                if not isinstance(arg, ast.ArrayRef):
+                    raise ParseError(
+                        f"{name.upper()} expects an array section argument",
+                        self._cur.loc,
+                    )
+                return ast.Reduction(REDUCTION_NAMES[name], arg)
+            if name in INTRINSIC_NAMES:
+                self._expect("(")
+                args = [self._parse_expr()]
+                while self._accept(","):
+                    args.append(self._parse_expr())
+                self._expect(")")
+                return ast.Intrinsic(name.upper(), tuple(args))
+            return ast.ArrayRef(name, self._parse_subscripts())
+        raise ParseError(
+            f"expected an expression, found {self._cur.kind!r}", self._cur.loc
+        )
+
+    def _parse_subscripts(self) -> tuple[ast.Subscript, ...]:
+        self._expect("(")
+        subs = [self._parse_subscript()]
+        while self._accept(","):
+            subs.append(self._parse_subscript())
+        self._expect(")")
+        return tuple(subs)
+
+    def _parse_subscript(self) -> ast.Subscript:
+        lo: ast.Expr | None = None
+        if not self._at(":"):
+            lo = self._parse_expr()
+            if not self._at(":"):
+                return ast.Index(lo)
+        self._expect(":")
+        hi: ast.Expr | None = None
+        if not self._at(":", ",", ")"):
+            hi = self._parse_expr()
+        step: ast.Expr | None = None
+        if self._accept(":"):
+            step = self._parse_expr()
+        return ast.Triplet(lo, hi, step)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse mini-HPF source text into a numbered :class:`Program`.
+
+    Inline ``ALIGN WITH`` clauses on array declarations are expanded into
+    separate :class:`AlignDecl` entries following the array declaration.
+    """
+    return _SplicingParser(tokenize(source)).parse_program()
+
+
+class _SplicingParser(Parser):
+    """Parser variant that splices inline ``ALIGN WITH`` clauses into the
+    declaration list right after the owning array declaration."""
+
+    def parse_program(self) -> ast.Program:
+        self._skip_newlines()
+        self._expect("PROGRAM")
+        name = self._expect("IDENT").text
+        self._end_of_statement()
+
+        decls: list[ast.Decl] = []
+        while self._is_decl_start():
+            decl = self._parse_decl()
+            decls.append(decl)
+            if self._pending_align is not None:
+                decls.append(self._pending_align)
+                self._pending_align = None
+            self._end_of_statement()
+
+        body = self._parse_stmt_list(("END",))
+        self._expect("END")
+        self._accept("PROGRAM")
+        self._skip_newlines()
+        self._expect("EOF")
+        program = ast.Program(name, decls, body)
+        ast.number_statements(program)
+        return program

@@ -1,0 +1,101 @@
+"""Unparser: AST back to mini-HPF source.
+
+Round-trips with the parser (``parse(unparse(p))`` reproduces the same
+structure), which the test suite checks property-style.  Used by the CLI
+to show scalarized programs and by anyone persisting transformed ASTs.
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+
+
+def _expr(e: ast.Expr) -> str:
+    if isinstance(e, ast.Num):
+        return str(e)
+    if isinstance(e, ast.VarRef):
+        return e.name
+    if isinstance(e, ast.ArrayRef):
+        return f"{e.name}({', '.join(_subscript(s) for s in e.subscripts)})"
+    if isinstance(e, ast.BinOp):
+        op = {"AND": " AND ", "OR": " OR "}.get(e.op, f" {e.op} ")
+        return f"({_expr(e.left)}{op}{_expr(e.right)})"
+    if isinstance(e, ast.UnOp):
+        if e.op == "NOT":
+            return f"(NOT {_expr(e.operand)})"
+        return f"(-{_expr(e.operand)})"
+    if isinstance(e, ast.Reduction):
+        name = {"SUM": "SUM", "MAX": "MAXVAL", "MIN": "MINVAL"}[e.op]
+        return f"{name}({_expr(e.arg)})"
+    if isinstance(e, ast.Intrinsic):
+        return f"{e.name}({', '.join(_expr(a) for a in e.args)})"
+    raise TypeError(f"cannot print {e!r}")
+
+
+def _subscript(s: ast.Subscript) -> str:
+    if isinstance(s, ast.Index):
+        return _expr(s.expr)
+    lo = "" if s.lo is None else _expr(s.lo)
+    hi = "" if s.hi is None else _expr(s.hi)
+    if s.step is None:
+        return f"{lo}:{hi}"
+    return f"{lo}:{hi}:{_expr(s.step)}"
+
+
+def _decl(d: ast.Decl) -> list[str]:
+    if isinstance(d, ast.ParamDecl):
+        return [f"PARAM {d.name} = {d.value}"]
+    if isinstance(d, ast.ProcessorsDecl):
+        dims = ", ".join(_expr(e) for e in d.shape)
+        return [f"PROCESSORS {d.name}({dims})"]
+    if isinstance(d, ast.TemplateDecl):
+        dims = ", ".join(_expr(e) for e in d.shape)
+        return [f"TEMPLATE {d.name}({dims})"]
+    if isinstance(d, ast.DistributeDecl):
+        fmts = ", ".join(d.formats)
+        return [f"DISTRIBUTE {d.target}({fmts}) ONTO {d.onto}"]
+    if isinstance(d, ast.AlignDecl):
+        return [f"ALIGN {d.array} WITH {d.target}"]
+    if isinstance(d, ast.ArrayDecl):
+        dims = ", ".join(_expr(e) for e in d.dims)
+        return [f"{d.elem_type} {d.name}({dims})"]
+    if isinstance(d, ast.ScalarDecl):
+        return [f"{d.elem_type} {d.name}"]
+    raise TypeError(f"cannot print {d!r}")
+
+
+def _stmt(stmt: ast.Stmt, indent: int, out: list[str]) -> None:
+    pad = "  " * indent
+    if isinstance(stmt, ast.Assign):
+        out.append(f"{pad}{_expr(stmt.lhs)} = {_expr(stmt.rhs)}")
+    elif isinstance(stmt, ast.Do):
+        out.append(
+            f"{pad}DO {stmt.var} = {_expr(stmt.lo)}, {_expr(stmt.hi)}, "
+            f"{_expr(stmt.step)}"
+        )
+        for s in stmt.body:
+            _stmt(s, indent + 1, out)
+        out.append(f"{pad}END DO")
+    elif isinstance(stmt, ast.If):
+        out.append(f"{pad}IF {_expr(stmt.cond)} THEN")
+        for s in stmt.then_body:
+            _stmt(s, indent + 1, out)
+        if stmt.else_body:
+            out.append(f"{pad}ELSE")
+            for s in stmt.else_body:
+                _stmt(s, indent + 1, out)
+        out.append(f"{pad}END IF")
+    else:
+        raise TypeError(f"cannot print {stmt!r}")
+
+
+def unparse(program: ast.Program) -> str:
+    """Render a program as parseable mini-HPF source."""
+    lines = [f"PROGRAM {program.name}"]
+    for d in program.decls:
+        for line in _decl(d):
+            lines.append(f"  {line}")
+    for stmt in program.body:
+        _stmt(stmt, 1, lines)
+    lines.append("END PROGRAM")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,20 @@
+"""Intermediate representation: augmented CFG, dominators, SSA."""
+
+from .cfg import CFG, Loop, Node, NodeKind, Position
+from .dominators import DominatorInfo
+from .ssa import SSA, EntryDef, PhiDef, RegularDef, SSADef, Use
+
+__all__ = [
+    "CFG",
+    "DominatorInfo",
+    "EntryDef",
+    "Loop",
+    "Node",
+    "NodeKind",
+    "PhiDef",
+    "Position",
+    "RegularDef",
+    "SSA",
+    "SSADef",
+    "Use",
+]

@@ -1,0 +1,152 @@
+"""Dominator tree and dominance frontiers.
+
+Implements the Cooper–Harvey–Kennedy iterative dominance algorithm over the
+augmented CFG, plus the statement-granular dominance relation the placement
+algorithm needs: the paper walks *dominator-tree parent links* from
+``Latest(u)`` up to ``Earliest(u)`` (Claim 4.5) and repeatedly asks whether
+one placement point dominates another (redundancy elimination, Fig 9f).
+"""
+
+from __future__ import annotations
+
+from ..errors import PlacementError
+from .cfg import CFG, Node, Position
+
+
+class DominatorInfo:
+    """Dominator tree, dominance queries, and dominance frontiers."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self._rpo = cfg.reverse_postorder()
+        self._rpo_index = {node.id: i for i, node in enumerate(self._rpo)}
+        self.idom: dict[int, Node] = {}
+        self._compute_idoms()
+        self.children: dict[int, list[Node]] = {n.id: [] for n in self._rpo}
+        for node in self._rpo:
+            if node is not self.cfg.entry:
+                self.children[self.idom[node.id].id].append(node)
+        self._dfs_order()
+        self.frontier = self._compute_frontiers()
+
+    # -- core algorithm --------------------------------------------------------
+
+    def _compute_idoms(self) -> None:
+        entry = self.cfg.entry
+        idom: dict[int, Node] = {entry.id: entry}
+
+        def intersect(a: Node, b: Node) -> Node:
+            while a is not b:
+                while self._rpo_index[a.id] > self._rpo_index[b.id]:
+                    a = idom[a.id]
+                while self._rpo_index[b.id] > self._rpo_index[a.id]:
+                    b = idom[b.id]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for node in self._rpo:
+                if node is entry:
+                    continue
+                processed = [p for p in node.preds if p.id in idom]
+                if not processed:
+                    continue
+                new_idom = processed[0]
+                for p in processed[1:]:
+                    new_idom = intersect(p, new_idom)
+                if idom.get(node.id) is not new_idom:
+                    idom[node.id] = new_idom
+                    changed = True
+        self.idom = idom
+        for node in self._rpo:
+            if node.id not in idom:
+                raise PlacementError(f"unreachable node {node!r} in CFG")
+
+    def _dfs_order(self) -> None:
+        """Preorder/postorder numbering of the dominator tree enabling O(1)
+        dominance queries."""
+        self._pre: dict[int, int] = {}
+        self._post: dict[int, int] = {}
+        counter = 0
+        stack: list[tuple[Node, bool]] = [(self.cfg.entry, False)]
+        while stack:
+            node, done = stack.pop()
+            if done:
+                self._post[node.id] = counter
+                counter += 1
+                continue
+            self._pre[node.id] = counter
+            counter += 1
+            stack.append((node, True))
+            for child in reversed(self.children[node.id]):
+                stack.append((child, False))
+
+    def _compute_frontiers(self) -> dict[int, set[int]]:
+        frontier: dict[int, set[int]] = {n.id: set() for n in self._rpo}
+        for node in self._rpo:
+            if len(node.preds) < 2:
+                continue
+            for pred in node.preds:
+                runner = pred
+                while runner is not self.idom[node.id]:
+                    frontier[runner.id].add(node.id)
+                    runner = self.idom[runner.id]
+        return frontier
+
+    # -- queries ------------------------------------------------------------
+
+    def dominates(self, a: Node, b: Node) -> bool:
+        """True when a dominates b (reflexively)."""
+        return (
+            self._pre[a.id] <= self._pre[b.id]
+            and self._post[b.id] <= self._post[a.id]
+        )
+
+    def strictly_dominates(self, a: Node, b: Node) -> bool:
+        return a is not b and self.dominates(a, b)
+
+    def dom_tree_parent(self, node: Node) -> Node | None:
+        if node is self.cfg.entry:
+            return None
+        return self.idom[node.id]
+
+    def dom_tree_path(self, descendant: Node, ancestor: Node) -> list[Node]:
+        """Nodes from ``descendant`` up to and including ``ancestor`` along
+        dominator-tree parent links (Claim 4.5's walk).  Raises when
+        ``ancestor`` does not dominate ``descendant``."""
+        if not self.dominates(ancestor, descendant):
+            raise PlacementError(
+                f"{ancestor!r} does not dominate {descendant!r}; no dom-tree path"
+            )
+        path = [descendant]
+        node = descendant
+        while node is not ancestor:
+            parent = self.dom_tree_parent(node)
+            if parent is None:
+                raise PlacementError("walked past ENTRY looking for dominator")
+            path.append(parent)
+            node = parent
+        return path
+
+    # -- statement-granular dominance ---------------------------------------
+
+    def position_dominates(self, a: Position, b: Position) -> bool:
+        """Does placement point ``a`` dominate placement point ``b``?
+
+        Within one node, earlier positions dominate later ones; across
+        nodes, block dominance decides.
+        """
+        if a.node_id == b.node_id:
+            return a.index <= b.index
+        return self.dominates(
+            self.cfg.node_by_id(a.node_id), self.cfg.node_by_id(b.node_id)
+        )
+
+    def dominator_depth(self, node: Node) -> int:
+        depth = 0
+        cur: Node | None = node
+        while cur is not None and cur is not self.cfg.entry:
+            cur = self.dom_tree_parent(cur)
+            depth += 1
+        return depth

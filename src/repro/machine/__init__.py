@@ -1,0 +1,5 @@
+"""Machine cost models standing in for the paper's SP2 and NOW testbeds."""
+
+from .model import MACHINES, NOW, SP2, MachineModel
+
+__all__ = ["MACHINES", "MachineModel", "NOW", "SP2"]

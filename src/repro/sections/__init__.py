@@ -1,0 +1,7 @@
+"""Array-section algebra: exact RSDs and symbolic (loop-parametric)
+sections."""
+
+from .rsd import EMPTY_DIM, RSD, DimSection
+from .symbolic import SymDim, SymSection
+
+__all__ = ["DimSection", "EMPTY_DIM", "RSD", "SymDim", "SymSection"]

@@ -1,0 +1,219 @@
+"""Symbolic array sections: RSDs whose bounds are affine in live loop
+variables.
+
+A communication entry's data section depends on *where* the communication
+is placed: hoisting it out of a loop widens the section over that loop's
+range (message vectorization).  Loops still enclosing the placement point
+stay as free symbols in the bounds — e.g. the section read by
+``a(i-1, j)`` placed inside the ``i`` loop but outside the ``j`` loop is
+``[i-1 : i-1, 1 : n]`` with ``i`` live.
+
+Subsumption between symbolic sections is decided conservatively: dimension
+bounds must differ by *constants* for a verdict, anything else answers
+"not contained" (safe: the compiler keeps the communication).  Dimensions
+built by widening more than one variable are flagged inexact and are never
+allowed to act as the subsuming side.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..affine import Affine, NonAffineError
+from .rsd import RSD, DimSection
+
+
+@dataclass(frozen=True)
+class SymDim:
+    """One dimension of a symbolic section: lo, lo+step, ..., hi.
+
+    ``exact`` is False when the progression is a conservative superset of
+    the real footprint (multi-variable widening).
+    """
+
+    lo: Affine
+    hi: Affine
+    step: int = 1
+    exact: bool = True
+
+    @staticmethod
+    def point(form: Affine) -> "SymDim":
+        return SymDim(form, form, 1, True)
+
+    @property
+    def is_point(self) -> bool:
+        return self.lo == self.hi
+
+    def span_const(self) -> int | None:
+        """hi - lo when constant, else None."""
+        diff = self.hi - self.lo
+        return diff.const if diff.is_constant else None
+
+    def count_const(self) -> int | None:
+        span = self.span_const()
+        if span is None:
+            return None
+        if span < 0:
+            return 0
+        return span // self.step + 1
+
+    def contains(self, other: "SymDim") -> bool:
+        """Conservative containment: every element of ``other`` in ``self``
+        for all values of the live symbols."""
+        if not self.exact:
+            return False  # a superset approximation must not subsume
+        lo_gap = other.lo - self.lo
+        hi_gap = self.hi - other.hi
+        if not (lo_gap.is_constant and hi_gap.is_constant):
+            return False
+        if lo_gap.const < 0 or hi_gap.const < 0:
+            return False
+        if lo_gap.const % self.step != 0:
+            return False
+        if other.is_point:
+            return True
+        return other.step % self.step == 0
+
+    def hull(self, other: "SymDim") -> "SymDim | None":
+        """Single-progression hull, or None when the bounds are not
+        comparable (non-constant differences)."""
+        lo_gap = other.lo - self.lo
+        hi_gap = other.hi - self.hi
+        if not (lo_gap.is_constant and hi_gap.is_constant):
+            return None
+        lo = self.lo if lo_gap.const >= 0 else other.lo
+        hi = other.hi if hi_gap.const >= 0 else self.hi
+        step = math.gcd(self.step, other.step, abs(lo_gap.const))
+        if step == 0:
+            step = max(self.step, other.step)
+        exact = self.exact and other.exact and (
+            step in (self.step, other.step) or step == 1
+        )
+        return SymDim(lo, hi, step, exact)
+
+    def widen(self, var: str, lo_bound: Affine, step: int, trips: int,
+              exact_trips: bool) -> "SymDim":
+        """Widen over ``var`` ranging over lo_bound, lo_bound+step, ...,
+        lo_bound + step*trips.
+
+        ``exact_trips`` is False when ``trips`` is only an upper bound
+        (triangular loops); the result is then flagged inexact.
+        """
+        c_lo = self.lo.coeff(var)
+        c_hi = self.hi.coeff(var)
+        if c_lo == 0 and c_hi == 0:
+            return self
+        hi_bound = lo_bound + step * trips
+        new_lo = self.lo.substitute(var, lo_bound if c_lo >= 0 else hi_bound)
+        new_hi = self.hi.substitute(var, hi_bound if c_hi >= 0 else lo_bound)
+        if self.is_point and c_lo == c_hi:
+            # Single variable over a progression: exact strided result.
+            new_step = abs(c_lo) * step
+            return SymDim(new_lo, new_hi, max(1, new_step), self.exact and exact_trips)
+        # Already widened once (or asymmetric): conservative box.
+        new_step = math.gcd(self.step, abs(c_lo) * step, abs(c_hi) * step)
+        return SymDim(new_lo, new_hi, max(1, new_step), False)
+
+    def concretize(self, env: dict[str, int], extent: int) -> DimSection:
+        lo = self.lo.evaluate(env)
+        hi = self.hi.evaluate(env)
+        section = DimSection(max(lo, 1), min(hi, extent), self.step)
+        return section
+
+    def max_count(self, ranges: dict[str, tuple[int, int]]) -> int:
+        """Upper bound on the element count given live-symbol ranges.
+
+        When the span ``hi - lo`` is constant the count is exact for every
+        instance (e.g. ``[i-1 : i-1]`` is one element whatever ``i`` is);
+        only truly varying spans fall back to interval bounds.
+        """
+        span = self.span_const()
+        if span is not None:
+            return 0 if span < 0 else span // self.step + 1
+        try:
+            lo_min, _ = self.lo.interval(ranges)
+            _, hi_max = self.hi.interval(ranges)
+        except NonAffineError:
+            return 1  # unknowable symbol; treat as a point, callers add slack
+        if hi_max < lo_min:
+            return 0
+        return (hi_max - lo_min) // self.step + 1
+
+    def __str__(self) -> str:
+        mark = "" if self.exact else "~"
+        if self.is_point:
+            return f"{mark}{self.lo}"
+        if self.step == 1:
+            return f"{mark}{self.lo}:{self.hi}"
+        return f"{mark}{self.lo}:{self.hi}:{self.step}"
+
+
+@dataclass(frozen=True)
+class SymSection:
+    """A symbolic multi-dimensional section of a named array."""
+
+    array: str
+    dims: tuple[SymDim, ...]
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def exact(self) -> bool:
+        return all(d.exact for d in self.dims)
+
+    def contains(self, other: "SymSection") -> bool:
+        """Conservative subsumption; requires the same array (ASD-level
+        checks handle cross-array questions)."""
+        if self.array != other.array or self.rank != other.rank:
+            return False
+        return all(a.contains(b) for a, b in zip(self.dims, other.dims))
+
+    def same_shape(self, other: "SymSection") -> bool:
+        """Do both sections have identical per-dimension *spans* (offsets
+        may differ)?  Used when combining sections of different arrays.
+
+        Unit dimensions (span 0) are ignored, so a plane of a 3-d array is
+        shape-compatible with a whole 2-d array — the paper's gravity code
+        combines NNC on ``g(i,:,:)`` with NNC on the 2-d ``glast``.
+        """
+
+        def profile(section: "SymSection") -> list[tuple[int, int]] | None:
+            dims = []
+            for d in section.dims:
+                span = d.span_const()
+                if span is None:
+                    return None
+                if span == 0:
+                    continue
+                dims.append((span, d.step))
+            return dims
+
+        pa, pb = profile(self), profile(other)
+        return pa is not None and pa == pb
+
+    def hull(self, other: "SymSection") -> "SymSection | None":
+        if self.rank != other.rank:
+            return None
+        dims = []
+        for a, b in zip(self.dims, other.dims):
+            h = a.hull(b)
+            if h is None:
+                return None
+            dims.append(h)
+        return SymSection(self.array, tuple(dims))
+
+    def concretize(self, env: dict[str, int], shape: tuple[int, ...]) -> RSD:
+        return RSD(
+            tuple(
+                d.concretize(env, extent) for d, extent in zip(self.dims, shape)
+            )
+        )
+
+    def max_count(self, ranges: dict[str, tuple[int, int]]) -> int:
+        return math.prod(d.max_count(ranges) for d in self.dims)
+
+    def __str__(self) -> str:
+        return f"{self.array}[" + ", ".join(str(d) for d in self.dims) + "]"

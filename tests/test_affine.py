@@ -1,0 +1,152 @@
+"""Unit and property tests for the affine-form algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.affine import Affine, NonAffineError
+
+SYMS = ["i", "j", "k", "n"]
+
+
+def affine_st():
+    return st.builds(
+        Affine,
+        st.integers(-50, 50),
+        st.dictionaries(st.sampled_from(SYMS), st.integers(-5, 5), max_size=3),
+    )
+
+
+def env_st():
+    return st.fixed_dictionaries({s: st.integers(-10, 10) for s in SYMS})
+
+
+class TestConstruction:
+    def test_zero_coeffs_dropped(self):
+        form = Affine(3, {"i": 0, "j": 2})
+        assert form.coeffs == {"j": 2}
+
+    def test_constant(self):
+        assert Affine.constant(7).const == 7
+        assert Affine.constant(7).is_constant
+
+    def test_symbol(self):
+        form = Affine.symbol("i", 3)
+        assert form.coeff("i") == 3
+        assert not form.is_constant
+
+    def test_symbols_set(self):
+        form = Affine(1, {"i": 2, "j": -1})
+        assert form.symbols == {"i", "j"}
+
+    def test_equal_forms_hash_equal(self):
+        a = Affine(1, {"i": 2, "j": 0})
+        b = Affine(1, {"i": 2})
+        assert a == b and hash(a) == hash(b)
+
+
+class TestAlgebra:
+    def test_add(self):
+        a = Affine(1, {"i": 2})
+        b = Affine(3, {"i": -2, "j": 1})
+        assert a + b == Affine(4, {"j": 1})
+
+    def test_add_int(self):
+        assert Affine(1, {"i": 1}) + 5 == Affine(6, {"i": 1})
+        assert 5 + Affine(1, {"i": 1}) == Affine(6, {"i": 1})
+
+    def test_sub(self):
+        a = Affine(1, {"i": 2})
+        assert a - a == Affine(0)
+
+    def test_rsub(self):
+        assert 10 - Affine(1, {"i": 1}) == Affine(9, {"i": -1})
+
+    def test_neg(self):
+        assert -Affine(1, {"i": 2}) == Affine(-1, {"i": -2})
+
+    def test_scale(self):
+        assert Affine(1, {"i": 2}).scaled(3) == Affine(3, {"i": 6})
+        assert Affine(1, {"i": 2}).scaled(0) == Affine(0)
+
+    def test_mul_constant_form(self):
+        assert Affine(2, {"i": 1}) * Affine(3) == Affine(6, {"i": 3})
+
+    def test_mul_nonlinear_raises(self):
+        with pytest.raises(NonAffineError):
+            _ = Affine(0, {"i": 1}) * Affine(0, {"j": 1})
+
+    def test_substitute(self):
+        form = Affine(1, {"i": 2, "j": 1})
+        out = form.substitute("i", Affine(3, {"k": 1}))
+        assert out == Affine(7, {"k": 2, "j": 1})
+
+    def test_substitute_int(self):
+        assert Affine(0, {"i": 2}).substitute("i", 4) == Affine(8)
+
+    def test_substitute_absent_symbol_is_identity(self):
+        form = Affine(1, {"i": 2})
+        assert form.substitute("z", 99) is form
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        form = Affine(1, {"i": 2, "j": -1})
+        assert form.evaluate({"i": 3, "j": 4}) == 3
+
+    def test_evaluate_unbound_raises(self):
+        with pytest.raises(NonAffineError):
+            Affine(0, {"i": 1}).evaluate({})
+
+    def test_interval_positive_coeff(self):
+        assert Affine(0, {"i": 2}).interval({"i": (1, 5)}) == (2, 10)
+
+    def test_interval_negative_coeff(self):
+        assert Affine(0, {"i": -2}).interval({"i": (1, 5)}) == (-10, -2)
+
+    def test_interval_mixed(self):
+        form = Affine(1, {"i": 1, "j": -1})
+        assert form.interval({"i": (0, 3), "j": (0, 2)}) == (-1, 4)
+
+    def test_interval_missing_range_raises(self):
+        with pytest.raises(NonAffineError):
+            Affine(0, {"i": 1}).interval({})
+
+    def test_interval_empty_range_raises(self):
+        with pytest.raises(NonAffineError):
+            Affine(0, {"i": 1}).interval({"i": (3, 2)})
+
+
+class TestProperties:
+    @given(affine_st(), affine_st(), env_st())
+    def test_add_matches_pointwise(self, a, b, env):
+        assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+    @given(affine_st(), affine_st(), env_st())
+    def test_sub_matches_pointwise(self, a, b, env):
+        assert (a - b).evaluate(env) == a.evaluate(env) - b.evaluate(env)
+
+    @given(affine_st(), st.integers(-7, 7), env_st())
+    def test_scale_matches_pointwise(self, a, k, env):
+        assert a.scaled(k).evaluate(env) == k * a.evaluate(env)
+
+    @given(affine_st(), st.sampled_from(SYMS), affine_st(), env_st())
+    def test_substitution_matches_pointwise(self, a, sym, repl, env):
+        substituted = a.substitute(sym, repl)
+        env2 = dict(env)
+        env2[sym] = repl.evaluate(env)
+        assert substituted.evaluate(env) == a.evaluate(env2)
+
+    @given(affine_st(), env_st())
+    def test_interval_contains_value(self, a, env):
+        ranges = {s: (min(v, v + 3), max(v, v + 3)) for s, v in env.items()}
+        lo, hi = a.interval(ranges)
+        assert lo <= a.evaluate(env) <= hi
+
+    @given(affine_st())
+    def test_str_roundtrip_stability(self, a):
+        # Display must be deterministic and non-empty.
+        assert str(a) == str(Affine(a.const, a.coeffs))
+        assert str(a)

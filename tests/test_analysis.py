@@ -1,0 +1,210 @@
+"""Semantic analysis / elaboration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distribution.layout import DistFormat
+from repro.errors import SemanticError
+from repro.frontend.analysis import elaborate, to_affine
+from repro.frontend.parser import parse
+
+
+def elab(source: str, params=None):
+    return elaborate(parse(source), params)
+
+
+BASE = """
+PROGRAM t
+  PARAM n = 8
+  PROCESSORS p(2, 2)
+  TEMPLATE tm(n, n)
+  DISTRIBUTE tm(BLOCK, BLOCK) ONTO p
+  REAL a(n, n) ALIGN WITH tm
+  REAL b(n, n)
+  DISTRIBUTE b(BLOCK, BLOCK) ONTO p
+  REAL c(n, n)
+  REAL s
+END PROGRAM
+"""
+
+
+class TestElaboration:
+    def test_params_resolved(self):
+        info = elab(BASE)
+        assert info.params == {"n": 8}
+
+    def test_param_override(self):
+        info = elab(BASE, {"n": 32})
+        assert info.shape("a") == (32, 32)
+
+    def test_override_unknown_param_raises(self):
+        with pytest.raises(SemanticError):
+            elab(BASE, {"zz": 1})
+
+    def test_aligned_array_gets_template_layout(self):
+        info = elab(BASE)
+        a = info.layout("a")
+        assert [d.format for d in a.dims] == [DistFormat.BLOCK, DistFormat.BLOCK]
+        assert a.grid.name == "p"
+
+    def test_directly_distributed_array(self):
+        info = elab(BASE)
+        assert info.is_distributed("b")
+
+    def test_undistributed_array_replicated(self):
+        info = elab(BASE)
+        assert not info.is_distributed("c")
+        assert info.layout("c").distributed_dims == ()
+
+    def test_scalars_recorded(self):
+        info = elab(BASE)
+        assert "s" in info.scalars
+
+    def test_same_mapping(self):
+        info = elab(BASE)
+        assert info.layout("a").same_mapping(info.layout("b"))
+        assert not info.layout("a").same_mapping(info.layout("c"))
+
+    def test_eval_const(self):
+        info = elab(BASE)
+        expr = parse("PROGRAM x\nPARAM n = 8\nREAL q(n + 2)\nEND").decls[1].dims[0]
+        assert info.eval_const(expr) == 10
+
+
+class TestSemanticErrors:
+    def test_duplicate_param(self):
+        with pytest.raises(SemanticError):
+            elab("PROGRAM t\nPARAM n = 1\nPARAM n = 2\nEND")
+
+    def test_duplicate_array(self):
+        with pytest.raises(SemanticError):
+            elab("PROGRAM t\nREAL a(4)\nREAL a(4)\nEND")
+
+    def test_distribute_unknown_grid(self):
+        with pytest.raises(SemanticError):
+            elab("PROGRAM t\nREAL a(4)\nDISTRIBUTE a(BLOCK) ONTO nope\nEND")
+
+    def test_distribute_rank_mismatch(self):
+        with pytest.raises(SemanticError):
+            elab(
+                "PROGRAM t\nPROCESSORS p(2)\nREAL a(4, 4)\n"
+                "DISTRIBUTE a(BLOCK) ONTO p\nEND"
+            )
+
+    def test_distribute_too_few_grid_axes(self):
+        with pytest.raises(SemanticError):
+            elab(
+                "PROGRAM t\nPROCESSORS p(2)\nREAL a(4, 4)\n"
+                "DISTRIBUTE a(BLOCK, BLOCK) ONTO p\nEND"
+            )
+
+    def test_distribute_unfilled_grid(self):
+        with pytest.raises(SemanticError):
+            elab(
+                "PROGRAM t\nPROCESSORS p(2, 2)\nREAL a(4, 4)\n"
+                "DISTRIBUTE a(BLOCK, *) ONTO p\nEND"
+            )
+
+    def test_distribute_undeclared_target(self):
+        with pytest.raises(SemanticError):
+            elab("PROGRAM t\nPROCESSORS p(2)\nDISTRIBUTE q(BLOCK) ONTO p\nEND")
+
+    def test_align_unknown_target(self):
+        with pytest.raises(SemanticError):
+            elab("PROGRAM t\nREAL a(4) ALIGN WITH ghost\nEND")
+
+    def test_align_shape_mismatch(self):
+        with pytest.raises(SemanticError):
+            elab(
+                "PROGRAM t\nPROCESSORS p(2)\nTEMPLATE tm(8)\n"
+                "DISTRIBUTE tm(BLOCK) ONTO p\nREAL a(6) ALIGN WITH tm\nEND"
+            )
+
+    def test_align_and_distribute_conflict(self):
+        with pytest.raises(SemanticError):
+            elab(
+                "PROGRAM t\nPROCESSORS p(2)\nTEMPLATE tm(8)\n"
+                "DISTRIBUTE tm(BLOCK) ONTO p\nREAL a(8) ALIGN WITH tm\n"
+                "DISTRIBUTE a(BLOCK) ONTO p\nEND"
+            )
+
+    def test_undeclared_variable_in_body(self):
+        with pytest.raises(SemanticError):
+            elab("PROGRAM t\nREAL s\ns = zz\nEND")
+
+    def test_undeclared_array_in_body(self):
+        with pytest.raises(SemanticError):
+            elab("PROGRAM t\nREAL s\ns = zz(1)\nEND")
+
+    def test_rank_mismatch_in_body(self):
+        with pytest.raises(SemanticError):
+            elab("PROGRAM t\nREAL a(4, 4)\na(1) = 0\nEND")
+
+    def test_array_used_without_subscripts(self):
+        with pytest.raises(SemanticError):
+            elab("PROGRAM t\nREAL a(4)\nREAL s\ns = a\nEND")
+
+    def test_loop_var_shadows_declaration(self):
+        with pytest.raises(SemanticError):
+            elab("PROGRAM t\nREAL i\nDO i = 1, 3\ni = 2\nEND DO\nEND")
+
+    def test_assignment_to_undeclared_scalar(self):
+        with pytest.raises(SemanticError):
+            elab("PROGRAM t\nzz = 1\nEND")
+
+    def test_loop_var_usable_in_subscripts(self):
+        info = elab("PROGRAM t\nREAL a(4)\nDO i = 1, 4\na(i) = i\nEND DO\nEND")
+        assert info.shape("a") == (4,)
+
+
+class TestToAffine:
+    def test_folds_params(self):
+        prog = parse("PROGRAM t\nPARAM n = 8\nREAL a(n)\na(n - 1) = 0\nEND")
+        sub = prog.body[0].lhs.subscripts[0]
+        form = to_affine(sub.expr, {"n": 8})
+        assert form.is_constant and form.const == 7
+
+    def test_keeps_loop_vars_symbolic(self):
+        prog = parse("PROGRAM t\nREAL a(8)\nDO i = 1, 8\na(i + 1) = 0\nEND DO\nEND")
+        sub = prog.body[0].body[0].lhs.subscripts[0]
+        form = to_affine(sub.expr, {})
+        assert form.coeff("i") == 1 and form.const == 1
+
+    def test_multiplication_by_constant(self):
+        prog = parse("PROGRAM t\nREAL a(16)\nDO i = 1, 8\na(2 * i) = 0\nEND DO\nEND")
+        sub = prog.body[0].body[0].lhs.subscripts[0]
+        assert to_affine(sub.expr, {}).coeff("i") == 2
+
+    def test_exact_constant_division(self):
+        prog = parse("PROGRAM t\nPARAM n = 8\nREAL a(n)\na(n / 2) = 0\nEND")
+        sub = prog.body[0].lhs.subscripts[0]
+        assert to_affine(sub.expr, {"n": 8}).const == 4
+
+
+class TestReplicatedControl:
+    """Conditions and loop bounds execute redundantly on every processor
+    and therefore must not read distributed data."""
+
+    DIST = (
+        "PROGRAM rc\nPARAM n = 8\nPROCESSORS p(2)\nREAL a(n)\n"
+        "DISTRIBUTE a(BLOCK) ONTO p\nREAL s\n"
+    )
+
+    def test_condition_on_distributed_array_rejected(self):
+        with pytest.raises(SemanticError, match="branch condition"):
+            elab(self.DIST + "IF a(1) > 0 THEN\ns = 1\nEND IF\nEND")
+
+    def test_loop_bound_on_distributed_array_rejected(self):
+        with pytest.raises(SemanticError, match="loop bound"):
+            elab(self.DIST + "DO i = 1, a(2)\ns = 1\nEND DO\nEND")
+
+    def test_replicated_array_in_condition_allowed(self):
+        src = (
+            "PROGRAM rc\nPARAM n = 8\nREAL r(n)\nREAL s\n"
+            "IF r(1) > 0 THEN\ns = 1\nEND IF\nEND"
+        )
+        elab(src)  # no error: r is replicated
+
+    def test_scalar_condition_allowed(self):
+        elab(self.DIST + "IF s > 0 THEN\ns = 1\nEND IF\nEND")

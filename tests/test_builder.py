@@ -1,0 +1,146 @@
+"""Programmatic builder tests: built ASTs must behave exactly like their
+parsed equivalents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import compile_program
+from repro.errors import ParseError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.builder import ProgramBuilder, sum_of, sqrt_of
+from repro.frontend.printer import unparse
+from repro.frontend.parser import parse
+from repro.runtime.checker import check_schedule
+
+
+def build_stencil() -> ast.Program:
+    b = ProgramBuilder("built")
+    b.param("n", 16)
+    b.processors("p", 4)
+    a = b.real("a", "n", distribute=("BLOCK",), onto="p")
+    w = b.real("w", "n", distribute=("BLOCK",), onto="p")
+    with b.do("t", 1, 4):
+        b.assign(w["2:n-1"], a["1:n-2"] + a["3:n"])
+        b.assign(a["2:n-1"], 0.5 * w["2:n-1"])
+    return b.build()
+
+
+class TestConstruction:
+    def test_builds_numbered_program(self):
+        program = build_stencil()
+        sids = [s.sid for s in program.statements()]
+        assert sids == [1, 2, 3]
+
+    def test_matches_parsed_equivalent(self):
+        program = build_stencil()
+        parsed = parse(
+            """PROGRAM built
+PARAM n = 16
+PROCESSORS p(4)
+REAL a(n)
+DISTRIBUTE a(BLOCK) ONTO p
+REAL w(n)
+DISTRIBUTE w(BLOCK) ONTO p
+DO t = 1, 4
+w(2:n-1) = a(1:n-2) + a(3:n)
+a(2:n-1) = 0.5 * w(2:n-1)
+END DO
+END"""
+        )
+        assert unparse(program) == unparse(parsed)
+
+    def test_compiles_and_validates(self):
+        result = compile_program(build_stencil())
+        assert result.call_sites() == 2  # ±1 shifts of a
+        check_schedule(result)
+
+    def test_template_alignment(self):
+        b = ProgramBuilder("aligned")
+        b.param("n", 8)
+        b.processors("p", 2, 2)
+        t = b.template("t", "n", "n").distribute("BLOCK", "BLOCK", onto="p")
+        u = b.real("u", "n", "n", align=t)
+        b.assign(u[":", ":"], 1)
+        result = compile_program(b.build())
+        assert result.info.is_distributed("u")
+
+    def test_scalar_and_reduction(self):
+        b = ProgramBuilder("red")
+        b.param("n", 8)
+        b.processors("p", 2)
+        a = b.real("a", "n", distribute=("BLOCK",), onto="p")
+        s = b.real("s")
+        b.assign(s, sum_of(a["1:n"]))
+        result = compile_program(b.build())
+        assert result.call_sites_by_kind() == {"reduction": 1}
+
+    def test_intrinsics_and_operators(self):
+        b = ProgramBuilder("ops")
+        b.param("n", 8)
+        a = b.real("a", "n")
+        b.assign(a[1], sqrt_of(4) + (-a[2]) / 2 - 1)
+        program = b.build()
+        text = unparse(program)
+        assert "SQRT" in text and "/" in text
+
+    def test_if_else(self):
+        b = ProgramBuilder("cond")
+        s = b.real("s")
+        with b.if_(s.expr > 0) as branch:
+            b.assign(s, 1)
+            branch.otherwise()
+            b.assign(s, 2)
+        program = b.build()
+        stmt = program.body[0]
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.then_body) == 1 and len(stmt.else_body) == 1
+
+    def test_if_without_else(self):
+        b = ProgramBuilder("cond2")
+        s = b.real("s")
+        with b.if_(s.expr > 0):
+            b.assign(s, 1)
+        stmt = b.build().body[0]
+        assert stmt.else_body == []
+
+    def test_nested_loops(self):
+        b = ProgramBuilder("nest")
+        b.param("n", 6)
+        a = b.real("a", "n", "n")
+        with b.do("i", 1, "n"):
+            with b.do("j", 1, "n"):
+                b.assign(a["i", "j"], Expr_ij := "i + j")
+        loop = b.build().body[0]
+        assert isinstance(loop.body[0], ast.Do)
+
+    def test_slice_subscripts(self):
+        b = ProgramBuilder("slices")
+        b.param("n", 10)
+        a = b.real("a", "n")
+        b.assign(a[slice(1, "n", 2)], 0)
+        stmt = b.build().body[0]
+        (sub,) = stmt.lhs.subscripts
+        assert isinstance(sub, ast.Triplet)
+        assert str(sub.step) == "2"
+
+    def test_bare_colon(self):
+        b = ProgramBuilder("colon")
+        b.param("n", 10)
+        a = b.real("a", "n")
+        b.assign(a[":"], 3)
+        (sub,) = b.build().body[0].lhs.subscripts
+        assert sub == ast.Triplet(None, None, None)
+
+    def test_unclosed_block_rejected(self):
+        b = ProgramBuilder("broken")
+        ctx = b.do("i", 1, 3)
+        ctx.__enter__()
+        with pytest.raises(ParseError):
+            b.build()
+
+    def test_assign_to_expression_rejected(self):
+        b = ProgramBuilder("bad")
+        a = b.real("a", "n")
+        with pytest.raises(TypeError):
+            b.assign(a[1] + 1, 0)

@@ -1,0 +1,90 @@
+"""Candidate-marking (§4.4) tests: the dominator-chain structure of
+Claims 4.5/4.6."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.candidates import mark_candidates, verify_candidates
+from repro.errors import PlacementError
+from conftest import analyzed
+
+
+class TestChainStructure:
+    def test_endpoints(self, fig4_source):
+        ctx, entries = analyzed(fig4_source)
+        for e in entries:
+            assert e.candidates[0] == e.earliest_pos
+            assert e.candidates[-1] == e.latest_pos
+
+    def test_chain_is_dominance_ordered(self, fig4_source):
+        ctx, entries = analyzed(fig4_source)
+        for e in entries:
+            for a, b in zip(e.candidates, e.candidates[1:]):
+                assert ctx.position_dominates(a, b)
+                assert a != b
+
+    def test_every_candidate_dominates_use(self, fig4_source):
+        ctx, entries = analyzed(fig4_source)
+        for e in entries:
+            use_pos = ctx.cfg.position_before(e.use.stmt)
+            for p in e.candidates:
+                assert ctx.position_dominates(p, use_pos)
+
+    def test_chain_never_enters_sibling_loops(self, fig4_source):
+        ctx, entries = analyzed(fig4_source)
+        for e in entries:
+            use_loops = set(
+                id(l)
+                for l in ctx.node_of(ctx.cfg.position_before(e.use.stmt).node_id
+                                     if False else e.latest_pos).loops_containing()
+            )
+            for p in e.candidates:
+                node = ctx.node_of(p)
+                for loop in node.loops_containing():
+                    # any loop containing a candidate must contain the use
+                    assert loop.contains_node(e.use.node)
+
+    def test_single_position_when_no_flexibility(self):
+        ctx, entries = analyzed(
+            """
+            PROGRAM t
+              PARAM n = 16
+              PROCESSORS p(4)
+              REAL a(n)
+              REAL b(n)
+              DISTRIBUTE a(BLOCK) ONTO p
+              DISTRIBUTE b(BLOCK) ONTO p
+              DO i = 2, n
+                a(i) = 1
+                b(i) = a(i - 1)
+              END DO
+            END
+            """
+        )
+        (e,) = entries
+        # Carried dep pins Latest just before the use; Earliest lands at
+        # the header merge: flexibility only within the iteration.
+        assert len(e.candidates) >= 1
+        assert e.candidates[-1] == ctx.cfg.position_before(e.use.stmt)
+
+    def test_verify_rejects_tampered_chain(self, fig4_source):
+        ctx, entries = analyzed(fig4_source)
+        e = entries[0]
+        e.candidates = list(reversed(e.candidates))
+        with pytest.raises(PlacementError):
+            verify_candidates(ctx, e)
+
+    def test_verify_rejects_empty(self, fig4_source):
+        ctx, entries = analyzed(fig4_source)
+        e = entries[0]
+        e.candidates = []
+        with pytest.raises(PlacementError):
+            verify_candidates(ctx, e)
+
+    def test_stencil_candidates_span_iteration_body(self, stencil_source):
+        ctx, entries = analyzed(stencil_source)
+        a_entry = next(e for e in entries if e.array == "a")
+        # Earliest at the time-loop merge, Latest at the consuming nest's
+        # preheader: at least the loop-top anchor plus the preheader.
+        assert len(a_entry.candidates) >= 2

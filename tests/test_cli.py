@@ -1,0 +1,90 @@
+"""Command-line interface tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "demo.hpf"
+    path.write_text(
+        """PROGRAM demo
+  PARAM n = 32
+  PROCESSORS p(4)
+  REAL a(n)
+  REAL b(n)
+  DISTRIBUTE a(BLOCK) ONTO p
+  DISTRIBUTE b(BLOCK) ONTO p
+  DO t = 1, 5
+    b(2:n-1) = a(1:n-2) + a(3:n)
+    a(2:n-1) = b(2:n-1)
+  END DO
+END PROGRAM
+"""
+    )
+    return str(path)
+
+
+class TestCompile:
+    def test_default_strategy(self, program_file, capsys):
+        assert main(["compile", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "strategy comb" in out
+        assert "call sites" in out
+
+    def test_all_strategies(self, program_file, capsys):
+        assert main(["compile", program_file, "--all"]) == 0
+        out = capsys.readouterr().out
+        for name in ("orig", "nored", "comb"):
+            assert f"strategy {name}" in out
+
+    def test_report_flag(self, program_file, capsys):
+        assert main(["compile", program_file, "--report"]) == 0
+        assert "COMM" in capsys.readouterr().out
+
+    def test_listing_flag(self, program_file, capsys):
+        assert main(["compile", program_file, "--listing"]) == 0
+        out = capsys.readouterr().out
+        assert "PROGRAM demo" in out and "! COMM" in out
+
+    def test_check_flag(self, program_file, capsys):
+        assert main(["compile", program_file, "--check"]) == 0
+        assert "schedule verified" in capsys.readouterr().out
+
+    def test_param_override(self, program_file, capsys):
+        assert main(["compile", program_file, "--param", "n=64"]) == 0
+
+    def test_bad_param(self, program_file):
+        with pytest.raises(SystemExit):
+            main(["compile", program_file, "--param", "oops"])
+
+    def test_missing_file(self, capsys):
+        assert main(["compile", "/nonexistent.hpf"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.hpf"
+        bad.write_text("PROGRAM x\nq = undeclared_thing\nEND\n")
+        assert main(["compile", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestOtherCommands:
+    def test_simulate(self, program_file, capsys):
+        assert main(["simulate", program_file, "--machine", "NOW"]) == 0
+        out = capsys.readouterr().out
+        assert "msgs/proc" in out
+        assert out.count("norm") == 3
+
+    def test_table(self, capsys):
+        assert main(["table"]) == 0
+        out = capsys.readouterr().out
+        assert "shallow" in out and "YES" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile"]) == 0
+        out = capsys.readouterr().out
+        assert "SP2" in out and "NOW" in out and "knee" in out

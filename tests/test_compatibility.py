@@ -1,0 +1,120 @@
+"""Combining-compatibility properties: symmetry, threshold behaviour,
+and the union-descriptor growth rule."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.affine import Affine
+from repro.comm.compatibility import sections_combinable
+from repro.comm.patterns import ShiftMapping, mappings_combinable
+from repro.core.greedy import _combinable_at
+from repro.sections.symbolic import SymDim, SymSection
+from conftest import analyzed
+
+
+def const_section(array: str, *spans: tuple[int, int, int]) -> SymSection:
+    dims = tuple(
+        SymDim(Affine.constant(lo), Affine.constant(hi), step)
+        for lo, hi, step in spans
+    )
+    return SymSection(array, dims)
+
+
+class TestSectionsCombinable:
+    def test_same_array_adjacent(self):
+        a = const_section("x", (1, 8, 1))
+        b = const_section("x", (9, 16, 1))
+        assert sections_combinable(a, b, 8, 8, 0.25, 16)
+
+    def test_same_array_distant_blowup_rejected(self):
+        a = const_section("x", (1, 2, 1))
+        b = const_section("x", (900, 901, 1))
+        assert not sections_combinable(a, b, 2, 2, 0.25, 16)
+
+    def test_different_arrays_same_shape(self):
+        a = const_section("x", (1, 8, 1))
+        b = const_section("y", (3, 10, 1))
+        assert sections_combinable(a, b, 8, 8, 0.25, 16)
+
+    def test_different_arrays_shape_mismatch(self):
+        a = const_section("x", (1, 8, 1))
+        b = const_section("y", (1, 9, 1))
+        assert not sections_combinable(a, b, 8, 9, 0.25, 16)
+
+    def test_different_arrays_stride_mismatch(self):
+        a = const_section("x", (1, 15, 2))
+        b = const_section("y", (1, 15, 1))
+        assert not sections_combinable(a, b, 8, 15, 0.25, 16)
+
+    def test_incomparable_symbolic_bounds_rejected(self):
+        a = SymSection("x", (SymDim(Affine.symbol("i"), Affine.symbol("i")),))
+        b = SymSection("x", (SymDim(Affine.symbol("j"), Affine.symbol("j")),))
+        assert not sections_combinable(a, b, 1, 1, 0.25, 16)
+
+    @given(
+        lo1=st.integers(1, 30), n1=st.integers(1, 10),
+        lo2=st.integers(1, 30), n2=st.integers(1, 10),
+    )
+    def test_symmetry_same_array(self, lo1, n1, lo2, n2):
+        a = const_section("x", (lo1, lo1 + n1 - 1, 1))
+        b = const_section("x", (lo2, lo2 + n2 - 1, 1))
+        assert sections_combinable(a, b, n1, n2, 0.25, 16) == sections_combinable(
+            b, a, n2, n1, 0.25, 16
+        )
+
+
+class TestEntriesCombinableSymmetry:
+    SRC = """
+    PROGRAM sym
+      PARAM n = 16
+      PROCESSORS p(4)
+      REAL a(n)
+      REAL b(n)
+      REAL c(n)
+      REAL d(n)
+      REAL e(n)
+      DISTRIBUTE a(BLOCK) ONTO p
+      DISTRIBUTE b(BLOCK) ONTO p
+      DISTRIBUTE c(BLOCK) ONTO p
+      DISTRIBUTE d(BLOCK) ONTO p
+      DISTRIBUTE e(BLOCK) ONTO p
+      c(2:n) = a(1:n-1) + b(1:n-1)
+      d(2:n-1) = a(1:n-2) + a(3:n)
+      e(3:n) = b(1:n-2)
+    END
+    """
+
+    def test_pairwise_symmetry_at_shared_positions(self):
+        ctx, entries = analyzed(self.SRC)
+        for x, y in itertools.combinations(entries, 2):
+            shared = x.candidate_set() & y.candidate_set()
+            for pos in list(shared)[:3]:
+                assert _combinable_at(ctx, x, y, pos) == _combinable_at(
+                    ctx, y, x, pos
+                ), (x.label, y.label, pos)
+
+    def test_self_combinable(self):
+        ctx, entries = analyzed(self.SRC)
+        for e in entries:
+            assert _combinable_at(ctx, e, e, e.candidates[-1])
+
+
+class TestMappingCombinability:
+    def test_reflexive(self):
+        m = ShiftMapping(("p", (4,)), (1,))
+        assert mappings_combinable(m, m)
+
+    def test_symmetric(self):
+        a = ShiftMapping(("p", (4,)), (1,))
+        b = ShiftMapping(("p", (4,)), (-1,))
+        assert mappings_combinable(a, b) == mappings_combinable(b, a)
+
+    def test_multi_hop_distinct_from_single(self):
+        a = ShiftMapping(("p", (4,)), (1,))
+        b = ShiftMapping(("p", (4,)), (2,))
+        assert not mappings_combinable(a, b)

@@ -1,0 +1,181 @@
+"""Earliest-placement (§4.3, Figure 8) tests, including the paper's
+Figure 4 expectations and the dominance invariant of Lemma 4.2."""
+
+from __future__ import annotations
+
+from repro.core.earliest import earliest_def
+from repro.ir.cfg import NodeKind
+from repro.ir.ssa import EntryDef, PhiDef, RegularDef
+from conftest import analyzed
+
+
+class TestFigure4:
+    """Paper: Earliest(a1) = Earliest(a2) = stmt 7 (the endif join);
+    Earliest(b1) = stmt 1, Earliest(b2) = stmt 2."""
+
+    def _entries(self, fig4_source):
+        ctx, entries = analyzed(fig4_source)
+        a1, b1, a2, b2 = entries  # program order: s16 (a, b), s18 (a, b)
+        assert (a1.array, b1.array, a2.array, b2.array) == ("a", "b", "a", "b")
+        return ctx, a1, b1, a2, b2
+
+    def test_a_uses_stop_at_join(self, fig4_source):
+        ctx, a1, b1, a2, b2 = self._entries(fig4_source)
+        for e in (a1, a2):
+            d = earliest_def(ctx, e.use)
+            assert isinstance(d, PhiDef)
+            assert d.kind == "join"
+            assert ctx.node_of(e.earliest_pos).kind is NodeKind.JOIN
+
+    def test_b1_stops_after_first_write(self, fig4_source):
+        ctx, a1, b1, a2, b2 = self._entries(fig4_source)
+        # b1 reads odd columns: hoists above the even-column write (stmt 2)
+        # and stops right after the odd-column write's nest.
+        n1 = ctx.node_of(b1.earliest_pos)
+        n2 = ctx.node_of(b2.earliest_pos)
+        assert n1.kind is NodeKind.POSTEXIT
+        assert n2.kind is NodeKind.POSTEXIT
+        assert ctx.dom.strictly_dominates(n1, n2)
+
+    def test_earliest_dominates_latest_and_use(self, fig4_source):
+        ctx, *entries = self._entries(fig4_source)
+        for e in entries:
+            assert ctx.position_dominates(e.earliest_pos, e.latest_pos)
+            use_pos = ctx.cfg.position_before(e.use.stmt)
+            assert ctx.position_dominates(e.earliest_pos, use_pos)
+
+
+class TestWalkBehaviour:
+    def test_unwritten_array_hoists_to_entry(self):
+        ctx, entries = analyzed(
+            """
+            PROGRAM t
+              PARAM n = 16
+              PROCESSORS p(4)
+              REAL a(n)
+              REAL b(n)
+              DISTRIBUTE a(BLOCK) ONTO p
+              DISTRIBUTE b(BLOCK) ONTO p
+              DO i = 2, n
+                b(i) = a(i - 1)
+              END DO
+            END
+            """
+        )
+        (e,) = entries
+        d = earliest_def(ctx, e.use)
+        assert isinstance(d, EntryDef)
+        assert ctx.node_of(e.earliest_pos).kind is NodeKind.ENTRY
+
+    def test_stops_after_dependent_write(self):
+        ctx, entries = analyzed(
+            """
+            PROGRAM t
+              PARAM n = 16
+              PROCESSORS p(4)
+              REAL a(n)
+              REAL b(n)
+              DISTRIBUTE a(BLOCK) ONTO p
+              DISTRIBUTE b(BLOCK) ONTO p
+              a(:) = 1
+              b(2:n) = a(1:n-1)
+            END
+            """
+        )
+        (e,) = entries
+        d = earliest_def(ctx, e.use)
+        # stops at the φ-exit after the writing nest (post-scalarization the
+        # write is a loop, so the version after it is a postexit φ)
+        assert isinstance(d, PhiDef) and d.kind == "exit"
+
+    def test_hoists_above_disjoint_write(self):
+        ctx, entries = analyzed(
+            """
+            PROGRAM t
+              PARAM n = 16
+              PROCESSORS p(4)
+              REAL a(n, n)
+              REAL b(n, n)
+              DISTRIBUTE a(BLOCK, *) ONTO p
+              DISTRIBUTE b(BLOCK, *) ONTO p
+              a(:, 1) = 1
+              a(:, 2) = 2
+              DO i = 2, n
+                b(i, 3) = a(i - 1, 1)
+              END DO
+            END
+            """
+        )
+        (e,) = entries
+        # The use reads column 1; the column-2 write must be skipped.
+        d = earliest_def(ctx, e.use)
+        node = ctx.node_of(e.earliest_pos)
+        # stops after the column-1 write's nest, strictly above column 2's
+        all_postexits = [n for n in ctx.cfg.nodes if n.kind is NodeKind.POSTEXIT]
+        assert node is all_postexits[0]
+
+    def test_time_loop_carried_dep_stops_at_header(self, stencil_source):
+        ctx, entries = analyzed(stencil_source)
+        a_entries = [e for e in entries if e.array == "a"]
+        for e in a_entries:
+            d = earliest_def(ctx, e.use)
+            # a is rewritten each iteration: the merge of the pre-loop and
+            # in-loop versions pins the earliest point.
+            assert isinstance(d, PhiDef)
+
+    def test_branch_without_relevant_writes_is_transparent(self):
+        ctx, entries = analyzed(
+            """
+            PROGRAM t
+              PARAM n = 16
+              PROCESSORS p(4)
+              REAL a(n)
+              REAL b(n)
+              REAL c(n)
+              REAL s
+              DISTRIBUTE a(BLOCK) ONTO p
+              DISTRIBUTE b(BLOCK) ONTO p
+              a(:) = 1
+              IF s > 0 THEN
+                c(1) = 1
+              ELSE
+                c(2) = 2
+              END IF
+              b(2:n) = a(1:n-1)
+            END
+            """
+        )
+        e = next(e for e in entries if e.array == "a")
+        d = earliest_def(ctx, e.use)
+        # c's branch writes are irrelevant to a: the walk must hoist above
+        # the IF and stop after a's write, not at the join.
+        assert not (isinstance(d, PhiDef) and d.kind == "join")
+
+    def test_branch_with_relevant_writes_blocks(self):
+        ctx, entries = analyzed(
+            """
+            PROGRAM t
+              PARAM n = 16
+              PROCESSORS p(4)
+              REAL a(n)
+              REAL b(n)
+              REAL s
+              DISTRIBUTE a(BLOCK) ONTO p
+              DISTRIBUTE b(BLOCK) ONTO p
+              IF s > 0 THEN
+                a(:) = 1
+              END IF
+              b(2:n) = a(1:n-1)
+            END
+            """
+        )
+        (e,) = entries
+        d = earliest_def(ctx, e.use)
+        assert isinstance(d, PhiDef) and d.kind == "join"
+
+    def test_every_entry_earliest_dominates_use(self, fig4_source):
+        for source in (fig4_source,):
+            ctx, entries = analyzed(source)
+            for e in entries:
+                use_pos = ctx.cfg.position_before(e.use.stmt)
+                assert ctx.position_dominates(e.earliest_pos, use_pos)

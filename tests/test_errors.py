@@ -1,0 +1,106 @@
+"""Error-hierarchy and diagnostics tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CodegenError,
+    DependenceError,
+    LexError,
+    ParseError,
+    PlacementError,
+    ReproError,
+    ScalarizationError,
+    SemanticError,
+    SimulationError,
+    SourceLocation,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            LexError("x", SourceLocation(1, 1)),
+            ParseError("x"),
+            SemanticError("x"),
+            ScalarizationError("x"),
+            DependenceError("x"),
+            PlacementError("x"),
+            CodegenError("x"),
+            SimulationError("x"),
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert isinstance(exc, ReproError)
+
+    def test_single_catch_point(self):
+        """A downstream user catches ReproError once for any phase."""
+        from repro import compile_program
+
+        with pytest.raises(ReproError):
+            compile_program("PROGRAM x\nq = nothing\nEND")
+        with pytest.raises(ReproError):
+            compile_program("PROGRAM x\n= broken\nEND")
+
+    def test_non_affine_is_dependence_error(self):
+        from repro.affine import NonAffineError
+
+        assert issubclass(NonAffineError, DependenceError)
+
+
+class TestSourceLocation:
+    def test_repr(self):
+        assert repr(SourceLocation(3, 7)) == "3:7"
+
+    def test_equality_and_hash(self):
+        assert SourceLocation(1, 2) == SourceLocation(1, 2)
+        assert hash(SourceLocation(1, 2)) == hash(SourceLocation(1, 2))
+        assert SourceLocation(1, 2) != SourceLocation(1, 3)
+
+    def test_ordering(self):
+        assert SourceLocation(1, 9) < SourceLocation(2, 1)
+        assert SourceLocation(2, 1) < SourceLocation(2, 5)
+
+    def test_lex_error_carries_location(self):
+        err = LexError("bad char", SourceLocation(4, 2))
+        assert "4:2" in str(err)
+        assert err.location.line == 4
+
+    def test_parse_error_location_optional(self):
+        assert "parse error:" in str(ParseError("oops"))
+        with_loc = ParseError("oops", SourceLocation(2, 2))
+        assert "at 2:2" in str(with_loc)
+
+
+class TestDiagnosticQuality:
+    """Error messages must identify the offending construct."""
+
+    def test_undeclared_name_mentioned(self):
+        from repro import compile_program
+
+        with pytest.raises(SemanticError, match="ghost"):
+            compile_program("PROGRAM x\nREAL s\ns = ghost\nEND")
+
+    def test_rank_mismatch_mentions_array(self):
+        from repro import compile_program
+
+        with pytest.raises(SemanticError, match="'a'"):
+            compile_program("PROGRAM x\nREAL a(4, 4)\na(1) = 0\nEND")
+
+    def test_conformance_error_names_statement(self):
+        from repro import compile_program
+
+        with pytest.raises(ScalarizationError, match="statement"):
+            compile_program(
+                "PROGRAM x\nREAL a(8)\nREAL b(8)\na(1:4) = b(1:6)\nEND"
+            )
+
+    def test_distribute_error_names_target(self):
+        from repro import compile_program
+
+        with pytest.raises(SemanticError, match="'q'"):
+            compile_program(
+                "PROGRAM x\nPROCESSORS p(2)\nDISTRIBUTE q(BLOCK) ONTO p\nEND"
+            )

@@ -1,0 +1,155 @@
+"""Fault injection: break each compiler pass deliberately and verify the
+dynamic oracles (schedule checker / SPMD executor) catch the miscompile.
+
+This is the test-the-tests layer: a verification oracle that cannot
+detect a broken redundancy eliminator, a lying dependence test, or an
+over-eager Earliest analysis would be worthless as evidence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import earliest as earliest_mod
+from repro.core import redundancy as redundancy_mod
+from repro.core.pipeline import Strategy, compile_program
+from repro.dependence import tests as dep_mod
+from repro.dependence.tests import DepResult
+from repro.errors import ReproError, SimulationError
+from repro.runtime.checker import check_schedule
+from repro.runtime.spmd import execute_spmd
+
+# A program whose correctness depends on every pass being right: the
+# time-carried stencil plus a redundant second reader.
+SOURCE = """
+PROGRAM victim
+  PARAM n = 12
+  PROCESSORS p(3)
+  REAL a(n)
+  REAL b(n)
+  REAL c(n)
+  DISTRIBUTE a(BLOCK) ONTO p
+  DISTRIBUTE b(BLOCK) ONTO p
+  DISTRIBUTE c(BLOCK) ONTO p
+  DO t = 1, 3
+    b(2:n-1) = a(1:n-2) + a(3:n)
+    c(2:n-1) = a(1:n-2)
+    a(2:n-1) = b(2:n-1) + c(2:n-1)
+  END DO
+END PROGRAM
+"""
+
+
+def oracles_reject(result) -> None:
+    """At least one dynamic oracle must flag the schedule."""
+    caught = 0
+    try:
+        check_schedule(result)
+    except ReproError:
+        # Usually SimulationError (stale/missing data); a malformed
+        # schedule can also surface as a section-evaluation error.
+        caught += 1
+    try:
+        execute_spmd(result)
+    except ReproError:
+        caught += 1
+    assert caught > 0, "miscompiled schedule slipped past both oracles"
+
+
+def oracles_accept(result) -> None:
+    check_schedule(result)
+    execute_spmd(result)
+
+
+class TestBaseline:
+    def test_unbroken_compiler_passes_oracles(self):
+        for strategy in Strategy:
+            oracles_accept(compile_program(SOURCE, strategy=strategy))
+
+
+class TestBrokenDependenceAnalysis:
+    def test_no_dependence_anywhere(self, monkeypatch):
+        """A dependence test that reports independence everywhere lets
+        Latest hoist the time-carried exchange out of the loop — stale
+        first-iteration data forever."""
+        monkeypatch.setattr(
+            dep_mod.DependenceTester,
+            "flow_dependence",
+            lambda self, ds, dr, us, ur: DepResult(frozenset(), False, 0),
+        )
+        result = compile_program(SOURCE, strategy="comb")
+        oracles_reject(result)
+
+    def test_missing_carried_levels(self, monkeypatch):
+        """Deps reported loop-independent but never carried: the exchange
+        stays inside the iteration but Earliest walks too far."""
+        original = dep_mod.DependenceTester._test
+
+        def lobotomized(self, ds, dr, us, ur):
+            real = original(self, ds, dr, us, ur)
+            return DepResult(frozenset(), real.loop_independent, real.cnl)
+
+        monkeypatch.setattr(dep_mod.DependenceTester, "_test", lobotomized)
+        result = compile_program(SOURCE, strategy="comb")
+        oracles_reject(result)
+
+
+class TestBrokenEarliest:
+    def test_test_always_false(self, monkeypatch):
+        """An Earliest walk that never stops hoists every exchange to
+        ENTRY — initial values masquerade as each iteration's data."""
+        monkeypatch.setattr(
+            earliest_mod, "_test",
+            lambda ctx, d, use: type(d).__name__ == "EntryDef",
+        )
+        result = compile_program(SOURCE, strategy="nored")
+        oracles_reject(result)
+
+
+class TestBrokenRedundancy:
+    def test_subsumes_always_true(self, monkeypatch):
+        """A redundancy eliminator that believes everything subsumes
+        everything deletes messages whose data differs."""
+        monkeypatch.setattr(
+            redundancy_mod, "subsumes_at", lambda ctx, w, l, p: w is not l
+        )
+        # Also break the coverage positions so the elimination 'succeeds'.
+        monkeypatch.setattr(
+            redundancy_mod,
+            "coverage_positions",
+            lambda ctx, w, l: w.candidate_set() & l.candidate_set(),
+        )
+        result = compile_program(SOURCE, strategy="comb")
+        # the b-read (a shifted both ways) now 'covers' the c-read etc.
+        if result.eliminated_entries():
+            oracles_reject(result)
+        else:
+            pytest.skip("injection did not trigger an elimination")
+
+
+class TestBrokenSections:
+    def test_sections_reported_too_narrow(self, monkeypatch):
+        """If the section computation forgets to widen over loops, the
+        vectorized message carries one iteration's element only."""
+        from repro.comm import entries as entries_mod
+
+        original = entries_mod.SectionBuilder._build
+
+        def narrowed(self, use, placement):
+            # Compute the section as if placed right at the use: no
+            # widening at all.
+            return original(self, use, use.node)
+
+        monkeypatch.setattr(entries_mod.SectionBuilder, "_build", narrowed)
+        result = compile_program(SOURCE, strategy="comb")
+        oracles_reject(result)
+
+
+class TestBrokenAnchoring:
+    def test_ops_anchored_at_program_end(self):
+        result = compile_program(SOURCE, strategy="comb")
+        from repro.ir.cfg import Position
+
+        for pc in result.placed:
+            pc.position = Position(result.ctx.cfg.exit.id, -1)
+        oracles_reject(result)

@@ -1,0 +1,189 @@
+"""Greedy choice and combining (§4.7) tests."""
+
+from __future__ import annotations
+
+from repro.comm.compatibility import entries_combinable, message_volume
+from repro.core.context import CompilerOptions
+from repro.core.greedy import greedy_choose
+from repro.core.pipeline import Strategy, compile_program
+from repro.core.redundancy import redundancy_eliminate
+from repro.core.state import PlacementState
+from repro.core.subset import subset_eliminate
+from conftest import analyzed, compile_to_context
+
+
+SRC_TWO_ARRAYS = """
+PROGRAM t
+  PARAM n = 16
+  PROCESSORS p(4)
+  REAL a(n)
+  REAL b(n)
+  REAL c(n)
+  REAL d(n)
+  DISTRIBUTE a(BLOCK) ONTO p
+  DISTRIBUTE b(BLOCK) ONTO p
+  DISTRIBUTE c(BLOCK) ONTO p
+  DISTRIBUTE d(BLOCK) ONTO p
+  c(2:n) = a(1:n-1)
+  d(2:n) = b(1:n-1)
+END
+"""
+
+
+def run_global(source: str, params=None, options=None):
+    return compile_program(source, params, Strategy.GLOBAL, options)
+
+
+class TestCombining:
+    def test_same_shift_different_arrays_combine(self):
+        result = run_global(SRC_TWO_ARRAYS)
+        assert result.call_sites() == 1
+        (group,) = result.placed
+        assert {e.array for e in group.entries} == {"a", "b"}
+
+    def test_opposite_shifts_do_not_combine(self):
+        result = run_global(
+            SRC_TWO_ARRAYS.replace("d(2:n) = b(1:n-1)", "d(1:n-1) = b(2:n)")
+        )
+        assert result.call_sites() == 2
+
+    def test_group_lands_at_latest_common_position(self):
+        result = run_global(SRC_TWO_ARRAYS)
+        (group,) = result.placed
+        ctx = result.ctx
+        for e in group.entries:
+            assert group.position in e.candidate_set()
+            # the group position must not be dominated by any later common
+            # candidate
+            common = set.intersection(*(set(e2.candidates) for e2 in group.entries))
+            for p in common:
+                assert ctx.position_dominates(p, group.position)
+
+    def test_threshold_blocks_combining(self):
+        tiny = CompilerOptions(combine_threshold_bytes=8)
+        result = run_global(SRC_TWO_ARRAYS, options=tiny)
+        assert result.call_sites() == 2
+
+    def test_volume_accumulates_across_group(self):
+        # threshold fits two entries but not three
+        src = SRC_TWO_ARRAYS.replace(
+            "  c(2:n) = a(1:n-1)",
+            "  REAL e(n)\n  DISTRIBUTE e(BLOCK) ONTO p\n"
+            "  REAL f(n)\n  DISTRIBUTE f(BLOCK) ONTO p\n"
+            "  c(2:n) = a(1:n-1)\n  f(2:n) = e(1:n-1)",
+        )
+        # each message is 8 bytes (one halo element per processor)
+        options = CompilerOptions(combine_threshold_bytes=17)
+        result = run_global(src, options=options)
+        sizes = sorted(len(pc.entries) for pc in result.placed)
+        assert sizes == [1, 2]
+
+    def test_reductions_in_one_statement_combine(self):
+        result = run_global(
+            """
+            PROGRAM t
+              PARAM n = 16
+              PROCESSORS p(4)
+              REAL a(n)
+              REAL b(n)
+              REAL s
+              DISTRIBUTE a(BLOCK) ONTO p
+              DISTRIBUTE b(BLOCK) ONTO p
+              s = SUM(a(1:n)) + SUM(b(1:n))
+            END
+            """
+        )
+        assert result.call_sites_by_kind() == {"reduction": 1}
+
+    def test_reductions_across_statements_stay_separate(self):
+        result = run_global(
+            """
+            PROGRAM t
+              PARAM n = 16
+              PROCESSORS p(4)
+              REAL a(n)
+              REAL b(n)
+              REAL s
+              REAL q
+              DISTRIBUTE a(BLOCK) ONTO p
+              DISTRIBUTE b(BLOCK) ONTO p
+              s = SUM(a(1:n))
+              b(2:n) = s
+              q = SUM(b(1:n))
+            END
+            """
+        )
+        assert result.call_sites_by_kind()["reduction"] == 2
+
+
+class TestGreedyOrderOptions:
+    def test_all_orders_produce_valid_schedules(self, fig4_source):
+        for order in ("constrained", "arbitrary", "reversed"):
+            options = CompilerOptions(greedy_order=order)
+            result = compile_program(fig4_source, None, Strategy.GLOBAL, options)
+            assert result.call_sites() >= 1
+            for pc in result.placed:
+                for e in pc.entries:
+                    assert pc.position in e.candidate_set()
+
+    def test_constrained_order_is_default_and_best_on_fig4(self, fig4_source):
+        counts = {}
+        for order in ("constrained", "arbitrary", "reversed"):
+            options = CompilerOptions(greedy_order=order)
+            result = compile_program(fig4_source, None, Strategy.GLOBAL, options)
+            counts[order] = result.call_sites()
+        assert counts["constrained"] <= min(counts.values())
+
+
+class TestVolumeEstimation:
+    def test_shift_volume_is_halo_only(self):
+        ctx, entries = analyzed(SRC_TWO_ARRAYS)
+        e = entries[0]
+        node = ctx.node_of(e.latest_pos)
+        section = ctx.sections.section_at(e.use, node)
+        ranges = ctx.sections.live_ranges_at(node)
+        vol = message_volume(ctx.info, e, section, ranges)
+        # 1 halo element of 8 bytes per processor
+        assert vol == 8
+
+    def test_reduction_volume_is_result_slab(self):
+        ctx, entries = analyzed(
+            """
+            PROGRAM t
+              PARAM n = 16
+              PROCESSORS p(4)
+              REAL a(n)
+              REAL s
+              DISTRIBUTE a(BLOCK) ONTO p
+              s = SUM(a(1:n))
+            END
+            """
+        )
+        (e,) = entries
+        node = ctx.node_of(e.latest_pos)
+        section = ctx.sections.section_at(e.use, node)
+        vol = message_volume(
+            ctx.info, e, section, ctx.sections.live_ranges_at(node)
+        )
+        assert vol == 8  # a single scalar result
+
+    def test_allgather_volume_is_whole_section(self):
+        ctx, entries = analyzed(
+            """
+            PROGRAM t
+              PARAM n = 16
+              PROCESSORS p(4)
+              REAL a(n)
+              REAL r(n)
+              DISTRIBUTE a(BLOCK) ONTO p
+              r(1:n) = a(1:n)
+            END
+            """
+        )
+        (e,) = entries
+        node = ctx.node_of(e.latest_pos)
+        section = ctx.sections.section_at(e.use, node)
+        vol = message_volume(
+            ctx.info, e, section, ctx.sections.live_ranges_at(node)
+        )
+        assert vol == 16 * 8

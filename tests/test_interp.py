@@ -1,0 +1,119 @@
+"""Reference interpreter tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.frontend.analysis import elaborate
+from repro.frontend.parser import parse
+from repro.runtime.interp import Interpreter, initial_arrays, interpret
+
+
+def run(source: str, seed: int = 1):
+    info = elaborate(parse(source))
+    return interpret(info, seed)
+
+
+class TestBasics:
+    def test_scalar_assignment(self):
+        state = run("PROGRAM t\nREAL s\ns = 2 + 3 * 4\nEND")
+        assert state["s"] == 14
+
+    def test_element_assignment(self):
+        state = run("PROGRAM t\nREAL a(4)\na(2) = 7\nEND")
+        assert state["a"][1] == 7
+
+    def test_section_assignment(self):
+        state = run("PROGRAM t\nREAL a(8)\na(2:6:2) = 5\nEND")
+        np.testing.assert_array_equal(state["a"][[1, 3, 5]], [5, 5, 5])
+
+    def test_full_colon(self):
+        state = run("PROGRAM t\nREAL a(4)\na(:) = 1\nEND")
+        np.testing.assert_array_equal(state["a"], np.ones(4))
+
+    def test_shifted_section_read(self):
+        state = run(
+            "PROGRAM t\nREAL a(6)\nREAL b(6)\na(:) = 2\nb(2:6) = a(1:5)\nEND"
+        )
+        np.testing.assert_array_equal(state["b"][1:], 2 * np.ones(5))
+
+    def test_do_loop(self):
+        state = run("PROGRAM t\nREAL a(5)\nDO i = 1, 5\na(i) = i\nEND DO\nEND")
+        np.testing.assert_array_equal(state["a"], [1, 2, 3, 4, 5])
+
+    def test_do_loop_step(self):
+        state = run(
+            "PROGRAM t\nREAL a(6)\na(:) = 0\nDO i = 1, 6, 2\na(i) = 1\nEND DO\nEND"
+        )
+        np.testing.assert_array_equal(state["a"], [1, 0, 1, 0, 1, 0])
+
+    def test_if_both_arms(self):
+        state = run("PROGRAM t\nREAL s\nREAL q\ns = 1\nIF s > 0 THEN\nq = 10\nELSE\nq = 20\nEND IF\nEND")
+        assert state["q"] == 10
+        state = run("PROGRAM t\nREAL s\nREAL q\ns = -1\nIF s > 0 THEN\nq = 10\nELSE\nq = 20\nEND IF\nEND")
+        assert state["q"] == 20
+
+    def test_sum_reduction(self):
+        state = run("PROGRAM t\nREAL a(4)\nREAL s\na(:) = 2\ns = SUM(a(1:4))\nEND")
+        assert state["s"] == 8
+
+    def test_maxval_minval(self):
+        src = (
+            "PROGRAM t\nREAL a(3)\nREAL hi\nREAL lo\n"
+            "a(1) = 5\na(2) = -2\na(3) = 9\n"
+            "hi = MAXVAL(a(1:3))\nlo = MINVAL(a(1:3))\nEND"
+        )
+        state = run(src)
+        assert state["hi"] == 9 and state["lo"] == -2
+
+    def test_intrinsics(self):
+        state = run("PROGRAM t\nREAL s\ns = SQRT(9) + ABS(-2) + MAX(1, 4)\nEND")
+        assert state["s"] == pytest.approx(3 + 2 + 4)
+
+    def test_triangular_loops(self):
+        state = run(
+            "PROGRAM t\nREAL a(4, 4)\na(:, :) = 0\n"
+            "DO i = 1, 4\nDO j = i, 4\na(i, j) = 1\nEND DO\nEND DO\nEND"
+        )
+        assert state["a"].sum() == 10  # upper triangle incl. diagonal
+
+
+class TestDeterminism:
+    def test_initial_state_deterministic(self):
+        info = elaborate(parse("PROGRAM t\nREAL a(8)\nREAL b(8)\nEND"))
+        s1 = initial_arrays(info, seed=7)
+        s2 = initial_arrays(info, seed=7)
+        for name in s1:
+            np.testing.assert_array_equal(s1[name], s2[name])
+
+    def test_different_seed_different_state(self):
+        info = elaborate(parse("PROGRAM t\nREAL a(8)\nEND"))
+        s1 = initial_arrays(info, seed=7)
+        s2 = initial_arrays(info, seed=8)
+        assert not np.array_equal(s1["a"], s2["a"])
+
+    def test_arrays_initialized_nonzero(self):
+        info = elaborate(parse("PROGRAM t\nREAL a(8)\nEND"))
+        assert (initial_arrays(info)["a"] > 0).all()
+
+
+class TestErrors:
+    def test_unbound_variable(self):
+        info = elaborate(parse("PROGRAM t\nREAL s\ns = 1\nEND"))
+        interp = Interpreter(info)
+        from repro.frontend import ast_nodes as ast
+
+        with pytest.raises(SimulationError):
+            interp.eval_expr(ast.VarRef("ghost"))
+
+    def test_array_as_index_rejected(self):
+        info = elaborate(parse("PROGRAM t\nREAL a(4)\nEND"))
+        interp = Interpreter(info)
+        from repro.frontend import ast_nodes as ast
+
+        with pytest.raises(SimulationError):
+            interp.eval_index(
+                ast.ArrayRef("a", (ast.Triplet(None, None, None),))
+            )

@@ -1,0 +1,179 @@
+"""Distribution / layout tests: ownership, block arithmetic, mapping
+equality — with property tests over random layouts."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distribution.layout import (
+    DimMapping,
+    DistFormat,
+    Layout,
+    ProcessorGrid,
+    replicated_layout,
+)
+from repro.errors import SemanticError
+
+
+def grid2() -> ProcessorGrid:
+    return ProcessorGrid("p", (4, 2))
+
+
+def block_layout(extent0=16, extent1=8) -> Layout:
+    return Layout(
+        "a",
+        grid2(),
+        (
+            DimMapping(DistFormat.BLOCK, extent0, grid_axis=0),
+            DimMapping(DistFormat.BLOCK, extent1, grid_axis=1),
+        ),
+    )
+
+
+class TestGrid:
+    def test_size(self):
+        assert grid2().size == 8
+
+    def test_invalid_shape(self):
+        with pytest.raises(SemanticError):
+            ProcessorGrid("p", (0, 2))
+
+    def test_empty_shape(self):
+        with pytest.raises(SemanticError):
+            ProcessorGrid("p", ())
+
+
+class TestDimMapping:
+    def test_distributed_requires_axis(self):
+        with pytest.raises(SemanticError):
+            DimMapping(DistFormat.BLOCK, 8)
+
+    def test_collapsed_rejects_axis(self):
+        with pytest.raises(SemanticError):
+            DimMapping(DistFormat.COLLAPSED, 8, grid_axis=0)
+
+    def test_bad_extent(self):
+        with pytest.raises(SemanticError):
+            DimMapping(DistFormat.COLLAPSED, 0)
+
+
+class TestLayout:
+    def test_block_size_ceil(self):
+        layout = block_layout(extent0=18)
+        assert layout.block_size(0) == 5  # ceil(18/4)
+
+    def test_owner_coord_block(self):
+        layout = block_layout()
+        assert layout.owner_coord(0, 1) == 0
+        assert layout.owner_coord(0, 4) == 0
+        assert layout.owner_coord(0, 5) == 1
+        assert layout.owner_coord(0, 16) == 3
+
+    def test_owner_coord_cyclic(self):
+        layout = Layout(
+            "c", ProcessorGrid("q", (3,)),
+            (DimMapping(DistFormat.CYCLIC, 10, grid_axis=0),),
+        )
+        assert [layout.owner_coord(0, i) for i in range(1, 7)] == [0, 1, 2, 0, 1, 2]
+
+    def test_owner_out_of_bounds(self):
+        with pytest.raises(SemanticError):
+            block_layout().owner_coord(0, 17)
+
+    def test_local_span(self):
+        layout = block_layout(extent0=18)
+        assert layout.local_span(0, 0) == (1, 5)
+        assert layout.local_span(0, 3) == (16, 18)  # ragged last block
+
+    def test_procs_along(self):
+        layout = block_layout()
+        assert layout.procs_along(0) == 4
+        assert layout.procs_along(1) == 2
+
+    def test_distributed_dims(self):
+        layout = Layout(
+            "g", grid2(),
+            (
+                DimMapping(DistFormat.COLLAPSED, 8),
+                DimMapping(DistFormat.BLOCK, 8, grid_axis=0),
+                DimMapping(DistFormat.BLOCK, 8, grid_axis=1),
+            ),
+        )
+        assert layout.distributed_dims == (1, 2)
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(SemanticError):
+            Layout(
+                "a", grid2(),
+                (
+                    DimMapping(DistFormat.BLOCK, 8, grid_axis=0),
+                    DimMapping(DistFormat.BLOCK, 8, grid_axis=0),
+                ),
+            )
+
+    def test_axis_out_of_range(self):
+        with pytest.raises(SemanticError):
+            Layout(
+                "a", grid2(), (DimMapping(DistFormat.BLOCK, 8, grid_axis=5),)
+            )
+
+    def test_replicated(self):
+        layout = replicated_layout("r", (4, 4), grid2())
+        assert layout.distributed_dims == ()
+        assert layout.owner_coord(0, 3) == 0
+
+    def test_same_mapping_ignores_name(self):
+        a = block_layout()
+        b = Layout("b", grid2(), a.dims)
+        assert a.same_mapping(b)
+
+    def test_signature_groups_compatible_layouts(self):
+        a = block_layout()
+        b = Layout("b", grid2(), a.dims)
+        assert a.distribution_signature()[1:] == b.distribution_signature()[1:]
+
+    def test_total_elements(self):
+        assert block_layout().total_elements() == 128
+
+
+class TestOwnershipProperties:
+    @given(
+        extent=st.integers(1, 200),
+        procs=st.integers(1, 16),
+        fmt=st.sampled_from([DistFormat.BLOCK, DistFormat.CYCLIC]),
+    )
+    def test_every_element_has_exactly_one_owner(self, extent, procs, fmt):
+        layout = Layout(
+            "a",
+            ProcessorGrid("p", (procs,)),
+            (DimMapping(fmt, extent, grid_axis=0),),
+        )
+        owners = [layout.owner_coord(0, i) for i in range(1, extent + 1)]
+        assert all(0 <= o < procs for o in owners)
+
+    @given(extent=st.integers(1, 200), procs=st.integers(1, 16))
+    def test_block_spans_partition_the_dimension(self, extent, procs):
+        layout = Layout(
+            "a",
+            ProcessorGrid("p", (procs,)),
+            (DimMapping(DistFormat.BLOCK, extent, grid_axis=0),),
+        )
+        covered = []
+        for coord in range(procs):
+            lo, hi = layout.local_span(0, coord)
+            covered.extend(range(lo, hi + 1))
+        assert covered == list(range(1, extent + 1))
+
+    @given(extent=st.integers(1, 200), procs=st.integers(1, 16))
+    def test_block_owner_matches_span(self, extent, procs):
+        layout = Layout(
+            "a",
+            ProcessorGrid("p", (procs,)),
+            (DimMapping(DistFormat.BLOCK, extent, grid_axis=0),),
+        )
+        for i in range(1, extent + 1):
+            coord = layout.owner_coord(0, i)
+            lo, hi = layout.local_span(0, coord)
+            assert lo <= i <= hi

@@ -1,0 +1,96 @@
+"""Tokenizer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LexError
+from repro.frontend.lexer import tokenize
+
+
+def kinds(source: str) -> list[str]:
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source: str) -> list[str]:
+    return [t.text for t in tokenize(source) if t.kind not in ("NEWLINE", "EOF")]
+
+
+class TestBasics:
+    def test_empty_input(self):
+        toks = tokenize("")
+        assert [t.kind for t in toks] == ["EOF"]
+
+    def test_identifiers_fold_to_lowercase(self):
+        assert texts("Alpha BETA gamma") == ["alpha", "beta", "gamma"]
+
+    def test_keywords_fold_to_uppercase(self):
+        assert kinds("program do end")[:3] == ["PROGRAM", "DO", "END"]
+
+    def test_keywords_case_insensitive(self):
+        assert kinds("Do dO DO")[:3] == ["DO", "DO", "DO"]
+
+    def test_numbers_integer(self):
+        toks = tokenize("42")
+        assert toks[0].kind == "NUMBER" and toks[0].text == "42"
+
+    def test_numbers_float(self):
+        assert tokenize("3.25")[0].text == "3.25"
+
+    def test_numbers_exponent(self):
+        assert tokenize("1.5e-3")[0].text == "1.5e-3"
+
+    def test_numbers_d_exponent_normalized(self):
+        assert tokenize("1.5d3")[0].text == "1.5e3"
+
+    def test_operators(self):
+        assert kinds("a <= b")[:3] == ["IDENT", "<=", "IDENT"]
+        assert kinds("a /= b")[1] == "/="
+        assert kinds("a / b")[1] == "/"
+
+    def test_triplet_colons(self):
+        assert kinds("a(1:n:2)")[:8] == [
+            "IDENT", "(", "NUMBER", ":", "IDENT", ":", "NUMBER", ")",
+        ]
+
+
+class TestLinesAndComments:
+    def test_newline_token_emitted(self):
+        assert "NEWLINE" in kinds("a = 1\nb = 2")
+
+    def test_blank_lines_collapse(self):
+        ks = kinds("a\n\n\nb")
+        assert ks.count("NEWLINE") == 1
+
+    def test_leading_newlines_skipped(self):
+        assert kinds("\n\na")[0] == "IDENT"
+
+    def test_comment_to_end_of_line(self):
+        assert texts("a ! the rest is comment\nb") == ["a", "b"]
+
+    def test_semicolon_is_statement_separator(self):
+        ks = kinds("a = 1; b = 2")
+        assert "NEWLINE" in ks
+
+    def test_continuation(self):
+        toks = tokenize("a = 1 + &\n    2")
+        assert [t.kind for t in toks if t.kind == "NEWLINE"] == []
+
+    def test_continuation_with_comment(self):
+        toks = [t.kind for t in tokenize("a = 1 + & ! why not\n 2")]
+        assert "NEWLINE" not in toks
+
+    def test_bad_continuation_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a = 1 & 2")
+
+
+class TestErrorsAndLocations:
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a = #")
+
+    def test_location_line_numbers(self):
+        toks = tokenize("a\nbb\nccc")
+        ids = [t for t in toks if t.kind == "IDENT"]
+        assert [t.loc.line for t in ids] == [1, 2, 3]

@@ -1,0 +1,117 @@
+"""Machine model tests: Figure 5 curve shapes and cost-model sanity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.fig5_profile import profile_machine, run_all, size_axis
+from repro.machine.model import MACHINES, NOW, SP2, MachineModel
+
+
+class TestPointToPoint:
+    def test_message_time_affine_in_size(self):
+        t0 = SP2.message_time(0)
+        t1 = SP2.message_time(34_000_000)
+        assert t0 == pytest.approx(SP2.startup_s)
+        assert t1 == pytest.approx(SP2.startup_s + 1.0)
+
+    def test_bandwidth_monotone_in_size(self):
+        sizes = size_axis()
+        for machine in MACHINES.values():
+            bws = [machine.network_bandwidth(s) for s in sizes]
+            assert all(a <= b for a, b in zip(bws, bws[1:]))
+
+    def test_bandwidth_saturates_at_asymptote(self):
+        for machine in MACHINES.values():
+            bw = machine.network_bandwidth(64 * 1024 * 1024)
+            assert bw == pytest.approx(machine.bandwidth_bps, rel=0.05)
+
+    def test_injection_faster_than_receive(self):
+        for machine in MACHINES.values():
+            for s in size_axis():
+                assert machine.injection_time(s) <= machine.message_time(s)
+
+    def test_zero_size_bandwidth(self):
+        assert SP2.network_bandwidth(0) == 0.0
+        assert SP2.bcopy_bandwidth(0) == 0.0
+
+
+class TestBcopyKnee:
+    def test_in_cache_rate(self):
+        t = SP2.bcopy_time(1024)
+        assert t == pytest.approx(1024 / SP2.bcopy_cache_bps)
+
+    def test_beyond_cache_blends(self):
+        n = SP2.cache_bytes * 4
+        t = SP2.bcopy_time(n)
+        expected = (
+            SP2.cache_bytes / SP2.bcopy_cache_bps
+            + (n - SP2.cache_bytes) / SP2.bcopy_mem_bps
+        )
+        assert t == pytest.approx(expected)
+
+    def test_bcopy_bandwidth_drops_past_cache(self):
+        small = SP2.bcopy_bandwidth(SP2.cache_bytes // 2)
+        large = SP2.bcopy_bandwidth(SP2.cache_bytes * 16)
+        assert large < small
+
+    def test_bcopy_dominates_network_in_cache(self):
+        """The paper: 'As long as the buffers fit in cache, we can ignore
+        the overhead of bcopy' — bcopy must be much faster than the net."""
+        for machine in MACHINES.values():
+            s = machine.cache_bytes // 2
+            assert machine.bcopy_bandwidth(s) > 2 * machine.network_bandwidth(s)
+
+
+class TestCollectives:
+    def test_reduce_scaling(self):
+        assert SP2.reduce_time(8, 1) == 0.0
+        assert SP2.reduce_time(8, 2) < SP2.reduce_time(8, 16)
+
+    def test_allreduce_twice_reduce(self):
+        assert SP2.allreduce_time(8, 16) == pytest.approx(
+            2 * SP2.reduce_time(8, 16)
+        )
+
+    def test_allgather_rounds(self):
+        t = SP2.allgather_time(8000, 4)
+        assert t == pytest.approx(3 * SP2.message_time(2000))
+
+
+class TestPlatformContrast:
+    def test_sp2_has_lower_overhead_higher_bandwidth(self):
+        """Paper §5: 'the SP2 network has lower overhead and higher
+        bandwidth than the NOW'."""
+        assert SP2.startup_s < NOW.startup_s
+        assert SP2.bandwidth_bps > NOW.bandwidth_bps
+        assert SP2.sw_overhead_s < NOW.sw_overhead_s
+
+
+class TestFigure5Profile:
+    def test_profiles_for_both_machines(self):
+        profiles = run_all()
+        assert {p.machine for p in profiles} == {"SP2", "NOW"}
+
+    def test_knee_below_cache_size(self):
+        """The paper's key reading of Figure 5: 'most of the message
+        startup amortization benefits occur at message sizes much smaller
+        than the cache limit, for both machines'."""
+        for machine in MACHINES.values():
+            profile = profile_machine(machine)
+            assert profile.knee(0.8) < machine.cache_bytes
+
+    def test_sp2_knee_near_20kb(self):
+        """The basis of the 20 KB combining threshold."""
+        knee = profile_machine(SP2).knee(0.8)
+        assert 4 * 1024 <= knee <= 32 * 1024
+
+    def test_cache_cliff_matches_model(self):
+        for machine in MACHINES.values():
+            cliff = profile_machine(machine).cache_cliff()
+            assert machine.cache_bytes <= cliff <= 4 * machine.cache_bytes
+
+    def test_formatting(self):
+        from repro.evaluation.fig5_profile import format_profile
+
+        text = format_profile(profile_machine(SP2))
+        assert "SP2" in text and "knee" in text

@@ -1,0 +1,219 @@
+"""Parser tests: declarations, statements, expressions, and errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import parse
+
+
+def parse_body(stmts: str, decls: str = "") -> ast.Program:
+    return parse(f"PROGRAM t\n{decls}\n{stmts}\nEND PROGRAM")
+
+
+class TestDeclarations:
+    def test_param(self):
+        prog = parse("PROGRAM t\nPARAM n = 8\nEND")
+        (decl,) = prog.decls
+        assert isinstance(decl, ast.ParamDecl)
+        assert decl.name == "n" and decl.value == 8
+
+    def test_param_negative(self):
+        prog = parse("PROGRAM t\nPARAM k = -3\nEND")
+        assert prog.decls[0].value == -3
+
+    def test_processors(self):
+        prog = parse("PROGRAM t\nPROCESSORS p(4, 2)\nEND")
+        (decl,) = prog.decls
+        assert isinstance(decl, ast.ProcessorsDecl)
+        assert len(decl.shape) == 2
+
+    def test_template_and_distribute(self):
+        prog = parse(
+            "PROGRAM t\nPARAM n = 8\nPROCESSORS p(2)\nTEMPLATE tm(n)\n"
+            "DISTRIBUTE tm(BLOCK) ONTO p\nEND"
+        )
+        dist = prog.decls[-1]
+        assert isinstance(dist, ast.DistributeDecl)
+        assert dist.formats == ("BLOCK",)
+        assert dist.onto == "p"
+
+    def test_distribute_formats(self):
+        prog = parse(
+            "PROGRAM t\nPROCESSORS p(2)\nTEMPLATE tm(8, 8, 8)\n"
+            "DISTRIBUTE tm(*, BLOCK, CYCLIC) ONTO p\nEND"
+        )
+        assert prog.decls[-1].formats == ("*", "BLOCK", "CYCLIC")
+
+    def test_array_decl(self):
+        prog = parse("PROGRAM t\nPARAM n = 4\nREAL a(n, n)\nEND")
+        arr = prog.decls[-1]
+        assert isinstance(arr, ast.ArrayDecl)
+        assert arr.elem_type == "REAL" and len(arr.dims) == 2
+
+    def test_scalar_decl(self):
+        prog = parse("PROGRAM t\nINTEGER k\nEND")
+        assert isinstance(prog.decls[0], ast.ScalarDecl)
+
+    def test_inline_align_splices_decl(self):
+        prog = parse(
+            "PROGRAM t\nPARAM n = 4\nTEMPLATE tm(n)\nREAL a(n) ALIGN WITH tm\nEND"
+        )
+        kinds = [type(d).__name__ for d in prog.decls]
+        assert kinds == ["ParamDecl", "TemplateDecl", "ArrayDecl", "AlignDecl"]
+        align = prog.decls[-1]
+        assert align.array == "a" and align.target == "tm"
+
+    def test_standalone_align(self):
+        prog = parse("PROGRAM t\nREAL a(4)\nALIGN a WITH b\nEND")
+        assert isinstance(prog.decls[-1], ast.AlignDecl)
+
+    def test_bad_distribute_format(self):
+        with pytest.raises(ParseError):
+            parse("PROGRAM t\nDISTRIBUTE a(FOO) ONTO p\nEND")
+
+
+class TestStatements:
+    def test_assign_scalar(self):
+        prog = parse_body("s = 1", "REAL s")
+        stmt = prog.body[0]
+        assert isinstance(stmt, ast.Assign)
+        assert isinstance(stmt.lhs, ast.VarRef)
+
+    def test_assign_element(self):
+        prog = parse_body("a(3) = 1", "REAL a(8)")
+        assert isinstance(prog.body[0].lhs, ast.ArrayRef)
+
+    def test_assign_section(self):
+        prog = parse_body("a(1:8:2) = 0", "REAL a(8)")
+        (sub,) = prog.body[0].lhs.subscripts
+        assert isinstance(sub, ast.Triplet)
+
+    def test_bare_colon_subscript(self):
+        prog = parse_body("a(:) = 0", "REAL a(8)")
+        (sub,) = prog.body[0].lhs.subscripts
+        assert sub.lo is None and sub.hi is None and sub.step is None
+
+    def test_do_loop_default_step(self):
+        prog = parse_body("DO i = 1, 8\na(i) = 0\nEND DO", "REAL a(8)")
+        loop = prog.body[0]
+        assert isinstance(loop, ast.Do)
+        assert isinstance(loop.step, ast.Num) and loop.step.value == 1
+
+    def test_do_loop_explicit_step(self):
+        prog = parse_body("DO i = 1, 8, 2\na(i) = 0\nEND DO", "REAL a(8)")
+        assert prog.body[0].step.value == 2
+
+    def test_nested_loops(self):
+        prog = parse_body(
+            "DO i = 1, 4\nDO j = 1, 4\na(i) = j\nEND DO\nEND DO", "REAL a(8)"
+        )
+        outer = prog.body[0]
+        inner = outer.body[0]
+        assert isinstance(inner, ast.Do) and inner.var == "j"
+
+    def test_if_then_else(self):
+        prog = parse_body(
+            "IF s > 0 THEN\ns = 1\nELSE\ns = 2\nEND IF", "REAL s"
+        )
+        stmt = prog.body[0]
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.then_body) == 1 and len(stmt.else_body) == 1
+
+    def test_if_without_else(self):
+        prog = parse_body("IF s > 0 THEN\ns = 1\nEND IF", "REAL s")
+        assert prog.body[0].else_body == []
+
+    def test_statement_ids_are_preorder(self):
+        prog = parse_body(
+            "DO i = 1, 4\na(i) = 0\nEND DO\ns = 1", "REAL a(8)\nREAL s"
+        )
+        sids = [stmt.sid for stmt in prog.statements()]
+        assert sids == sorted(sids) and sids[0] == 1
+
+
+class TestExpressions:
+    def _rhs(self, text: str) -> ast.Expr:
+        prog = parse_body(f"s = {text}", "REAL s\nREAL a(8)\nREAL b(8, 8)")
+        return prog.body[0].rhs
+
+    def test_precedence_mul_over_add(self):
+        expr = self._rhs("1 + 2 * 3")
+        assert isinstance(expr, ast.BinOp) and expr.op == "+"
+        assert isinstance(expr.right, ast.BinOp) and expr.right.op == "*"
+
+    def test_parens(self):
+        expr = self._rhs("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_unary_minus(self):
+        expr = self._rhs("-a(1)")
+        assert isinstance(expr, ast.UnOp) and expr.op == "-"
+
+    def test_unary_plus_is_noop(self):
+        expr = self._rhs("+3")
+        assert isinstance(expr, ast.Num)
+
+    def test_comparison(self):
+        expr = self._rhs("1 <= 2")
+        assert expr.op == "<="
+
+    def test_logic(self):
+        expr = self._rhs("1 < 2 AND NOT 3 > 4 OR 5 == 5")
+        assert expr.op == "OR"
+
+    def test_reduction_sum(self):
+        expr = self._rhs("SUM(a(1:8))")
+        assert isinstance(expr, ast.Reduction) and expr.op == "SUM"
+
+    def test_reduction_maxval_minval(self):
+        assert self._rhs("MAXVAL(a(:))").op == "MAX"
+        assert self._rhs("MINVAL(a(:))").op == "MIN"
+
+    def test_reduction_requires_array_arg(self):
+        with pytest.raises(ParseError):
+            self._rhs("SUM(1 + 2)")
+
+    def test_intrinsic(self):
+        expr = self._rhs("SQRT(a(1))")
+        assert isinstance(expr, ast.Intrinsic) and expr.name == "SQRT"
+
+    def test_intrinsic_two_args(self):
+        expr = self._rhs("MOD(a(1), 4)")
+        assert len(expr.args) == 2
+
+    def test_unknown_applied_name_is_array_ref(self):
+        expr = self._rhs("b(1, 2)")
+        assert isinstance(expr, ast.ArrayRef)
+
+    def test_section_in_rhs(self):
+        expr = self._rhs("SUM(b(1, 1:8:2))")
+        assert isinstance(expr.arg.subscripts[1], ast.Triplet)
+
+
+class TestErrors:
+    def test_missing_end(self):
+        with pytest.raises(ParseError):
+            parse("PROGRAM t\ns = 1\n")
+
+    def test_missing_then(self):
+        with pytest.raises(ParseError):
+            parse("PROGRAM t\nIF x > 0\nx = 1\nEND IF\nEND")
+
+    def test_garbage_statement(self):
+        with pytest.raises(ParseError):
+            parse("PROGRAM t\n= 4\nEND")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            parse("PROGRAM t\ns = (1 + 2\nEND")
+
+    def test_walk_expr_covers_subscripts(self):
+        prog = parse_body("s = b(i0 + 1, 2)", "REAL s\nREAL b(8, 8)\nREAL i0")
+        names = [
+            n.name for n in ast.walk_expr(prog.body[0].rhs)
+            if isinstance(n, ast.VarRef)
+        ]
+        assert "i0" in names

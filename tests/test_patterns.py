@@ -1,0 +1,281 @@
+"""Communication pattern classification tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.patterns import (
+    AllGatherMapping,
+    GeneralMapping,
+    ReductionMapping,
+    ShiftMapping,
+    mapping_subsumes,
+    mappings_combinable,
+)
+from conftest import compile_to_context
+
+
+def classify_uses(source: str, params=None):
+    ctx = compile_to_context(source, params)
+    distributed = {n for n in ctx.info.layouts if ctx.info.is_distributed(n)}
+    out = []
+    for use in ctx.ssa.array_uses(distributed):
+        pattern = ctx.classifier.classify(use)
+        out.append((use, pattern))
+    return ctx, out
+
+
+BASE_DECLS = """
+PROGRAM t
+  PARAM n = 16
+  PROCESSORS p(2, 2)
+  TEMPLATE tm(n, n)
+  DISTRIBUTE tm(BLOCK, BLOCK) ONTO p
+  REAL a(n, n) ALIGN WITH tm
+  REAL b(n, n) ALIGN WITH tm
+  REAL r(n, n)
+  REAL s
+"""
+
+
+class TestShiftClassification:
+    def test_aligned_access_no_comm(self):
+        _, uses = classify_uses(BASE_DECLS + "a(2:n, 2:n) = b(2:n, 2:n)\nEND")
+        patterns = [p for _, p in uses]
+        assert patterns == [None]
+
+    def test_axis0_shift(self):
+        _, uses = classify_uses(BASE_DECLS + "a(2:n, 2:n) = b(1:n-1, 2:n)\nEND")
+        (_, pattern), = uses
+        assert pattern.kind == "shift"
+        assert pattern.mapping.proc_shifts == (-1, 0)
+        assert pattern.mapping.is_nnc
+
+    def test_axis1_shift(self):
+        _, uses = classify_uses(BASE_DECLS + "a(2:n, 2:n-1) = b(2:n, 3:n)\nEND")
+        (_, pattern), = uses
+        assert pattern.mapping.proc_shifts == (0, 1)
+
+    def test_diagonal_shift(self):
+        _, uses = classify_uses(
+            BASE_DECLS + "a(2:n-1, 2:n-1) = b(3:n, 3:n)\nEND"
+        )
+        (_, pattern), = uses
+        assert pattern.mapping.proc_shifts == (1, 1)
+
+    def test_large_offset_multi_hop(self):
+        # offset 9 with block size 8 -> two processor hops (not NNC)
+        _, uses = classify_uses(
+            BASE_DECLS + "a(1:n-9, :) = b(10:n, :)\nEND"
+        )
+        (_, pattern), = uses
+        assert pattern.mapping.proc_shifts == (2, 0)
+        assert not pattern.mapping.is_nnc
+
+    def test_elem_shifts_recorded(self):
+        _, uses = classify_uses(BASE_DECLS + "a(2:n, 2:n) = b(1:n-1, 2:n)\nEND")
+        (_, pattern), = uses
+        assert pattern.elem_shifts == ((0, -1),)
+
+    def test_replicated_rhs_no_comm(self):
+        _, uses = classify_uses(BASE_DECLS + "a(2:n, 2:n) = r(1:n-1, 2:n)\nEND")
+        assert uses == []  # r is not distributed, not even a tracked use
+
+    def test_scalar_lhs_allgather(self):
+        _, uses = classify_uses(BASE_DECLS + "s = b(3, 3)\nEND")
+        (_, pattern), = uses
+        assert pattern.kind == "allgather"
+        assert isinstance(pattern.mapping, AllGatherMapping)
+
+    def test_replicated_lhs_allgather(self):
+        _, uses = classify_uses(BASE_DECLS + "r(2:n, 2:n) = b(2:n, 2:n)\nEND")
+        (_, pattern), = uses
+        assert pattern.kind == "allgather"
+
+    def test_transpose_is_general(self):
+        src = """
+PROGRAM t
+  PARAM n = 16
+  PROCESSORS p(2, 2)
+  REAL a(n, n)
+  REAL b(n, n)
+  DISTRIBUTE a(BLOCK, BLOCK) ONTO p
+  DISTRIBUTE b(BLOCK, BLOCK) ONTO p
+  DO i = 1, n
+    DO j = 1, n
+      a(i, j) = b(j, i)
+    END DO
+  END DO
+END"""
+        _, uses = classify_uses(src)
+        (_, pattern), = uses
+        assert pattern.kind == "general"
+        assert isinstance(pattern.mapping, GeneralMapping)
+
+    def test_cross_grid_is_general(self):
+        src = """
+PROGRAM t
+  PARAM n = 16
+  PROCESSORS p(4)
+  PROCESSORS q(4)
+  REAL a(n)
+  REAL b(n)
+  DISTRIBUTE a(BLOCK) ONTO p
+  DISTRIBUTE b(BLOCK) ONTO q
+  a(2:n) = b(1:n-1)
+END"""
+        _, uses = classify_uses(src)
+        (_, pattern), = uses
+        assert pattern.kind == "general"
+
+    def test_cyclic_shift(self):
+        src = """
+PROGRAM t
+  PARAM n = 16
+  PROCESSORS p(4)
+  REAL a(n)
+  REAL b(n)
+  DISTRIBUTE a(CYCLIC) ONTO p
+  DISTRIBUTE b(CYCLIC) ONTO p
+  a(2:n) = b(1:n-1)
+END"""
+        _, uses = classify_uses(src)
+        (_, pattern), = uses
+        assert pattern.kind == "shift"
+        assert pattern.mapping.proc_shifts == (-1,)
+
+
+class TestReductionClassification:
+    def test_sum_over_distributed_dim(self):
+        _, uses = classify_uses(BASE_DECLS + "s = SUM(b(3, 1:n))\nEND")
+        (_, pattern), = uses
+        assert pattern.kind == "reduction"
+        assert pattern.mapping.op == "SUM"
+        assert pattern.mapping.axes == (1,)
+
+    def test_sum_over_both_dims(self):
+        _, uses = classify_uses(BASE_DECLS + "s = SUM(b(1:n, 1:n))\nEND")
+        (_, pattern), = uses
+        assert pattern.mapping.axes == (0, 1)
+
+    def test_sum_over_collapsed_dim_is_local(self):
+        src = """
+PROGRAM t
+  PARAM n = 16
+  PROCESSORS p(4)
+  REAL g(n, n)
+  REAL s
+  DISTRIBUTE g(BLOCK, *) ONTO p
+  s = SUM(g(3, 1:n))
+END"""
+        _, uses = classify_uses(src)
+        (_, pattern), = uses
+        assert pattern is None
+
+    def test_maxval_op_recorded(self):
+        _, uses = classify_uses(BASE_DECLS + "s = MAXVAL(b(3, 1:n))\nEND")
+        (_, pattern), = uses
+        assert pattern.mapping.op == "MAX"
+
+
+class TestMappingRelations:
+    def test_equal_shifts_combinable(self):
+        g = ("p", (2, 2))
+        assert mappings_combinable(ShiftMapping(g, (1, 0)), ShiftMapping(g, (1, 0)))
+
+    def test_different_direction_not_combinable(self):
+        g = ("p", (2, 2))
+        assert not mappings_combinable(
+            ShiftMapping(g, (1, 0)), ShiftMapping(g, (0, 1))
+        )
+
+    def test_different_grid_not_combinable(self):
+        assert not mappings_combinable(
+            ShiftMapping(("p", (2, 2)), (1, 0)),
+            ShiftMapping(("q", (4,)), (1,)),
+        )
+
+    def test_shift_vs_reduction_not_combinable(self):
+        g = ("p", (2, 2))
+        assert not mappings_combinable(
+            ShiftMapping(g, (1, 0)), ReductionMapping(g, (0,), "SUM")
+        )
+
+    def test_reductions_same_axes_combinable(self):
+        g = ("p", (2, 2))
+        assert mappings_combinable(
+            ReductionMapping(g, (1,), "SUM"), ReductionMapping(g, (1,), "SUM")
+        )
+
+    def test_reductions_different_op_not_combinable(self):
+        g = ("p", (2, 2))
+        assert not mappings_combinable(
+            ReductionMapping(g, (1,), "SUM"), ReductionMapping(g, (1,), "MAX")
+        )
+
+    def test_subsumes_is_equality(self):
+        g = ("p", (2, 2))
+        assert mapping_subsumes(ShiftMapping(g, (1, 0)), ShiftMapping(g, (1, 0)))
+        assert not mapping_subsumes(ShiftMapping(g, (1, 0)), ShiftMapping(g, (-1, 0)))
+
+    def test_shift_partners(self):
+        g = ("p", (2, 2))
+        assert ShiftMapping(g, (0, 0)).partners == 0
+        assert ShiftMapping(g, (1, 1)).partners == 1
+
+    def test_reduction_procs_combined(self):
+        assert ReductionMapping(("p", (4, 2)), (0,), "SUM").procs_combined() == 4
+        assert ReductionMapping(("p", (4, 2)), (0, 1), "SUM").procs_combined() == 8
+
+
+class TestConstantSourceMapping:
+    """§4.7: mappings to a constant processor position canonicalize by
+    the owner coordinate so identical ones can combine."""
+
+    SRC = """
+PROGRAM csrc
+  PARAM n = 16
+  PROCESSORS p(4)
+  REAL a(n, n)
+  REAL b(n, n)
+  REAL c(n, n)
+  DISTRIBUTE a(BLOCK, *) ONTO p
+  DISTRIBUTE b(BLOCK, *) ONTO p
+  DISTRIBUTE c(BLOCK, *) ONTO p
+  DO i = 1, n
+    DO j = 1, n
+      c(i, j) = a(1, j) + b(1, j)
+    END DO
+  END DO
+END"""
+
+    def test_classified_with_owner_coordinate(self):
+        _, uses = classify_uses(self.SRC)
+        for _, pattern in uses:
+            assert pattern.kind == "general"
+            assert "const-src:axis0@0" in pattern.mapping.signature
+
+    def test_identical_sources_combine(self):
+        from repro.core.pipeline import compile_program
+
+        result = compile_program(self.SRC, strategy="comb")
+        assert result.call_sites() == 1  # a-row and b-row fetched together
+
+    def test_different_sources_do_not_combine(self):
+        src = self.SRC.replace("b(1, j)", "b(n, j)")
+        from repro.core.pipeline import compile_program
+
+        result = compile_program(src, strategy="comb")
+        assert result.call_sites() == 2
+
+    def test_spmd_validates(self):
+        from repro.core.pipeline import compile_program
+        from repro.runtime.spmd import execute_spmd
+        from repro.runtime.interp import interpret
+        import numpy as np
+
+        result = compile_program(self.SRC, strategy="comb")
+        state, _ = execute_spmd(result)
+        ref = interpret(result.info)
+        for name in ref:
+            np.testing.assert_array_equal(state[name], ref[name])

@@ -1,0 +1,109 @@
+"""Unparser tests: round-tripping through the parser preserves structure."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.analysis import elaborate
+from repro.frontend.parser import parse
+from repro.frontend.printer import unparse
+from repro.frontend.scalarizer import scalarize
+from repro.evaluation.programs import BENCHMARKS
+
+
+def structurally_equal(a: ast.Program, b: ast.Program) -> bool:
+    """Compare two programs by their printed forms — the printer is
+    deterministic, so equality of prints means equality of structure."""
+    return unparse(a) == unparse(b)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_benchmarks_round_trip(self, name):
+        original = parse(BENCHMARKS[name])
+        text = unparse(original)
+        reparsed = parse(text)
+        assert structurally_equal(original, reparsed)
+
+    def test_fig4_round_trip(self, fig4_source):
+        original = parse(fig4_source)
+        assert structurally_equal(original, parse(unparse(original)))
+
+    def test_scalarized_programs_print_and_reparse(self, fig4_source):
+        program = parse(fig4_source)
+        info = elaborate(program)
+        sprog = scalarize(program, info)
+        reparsed = parse(unparse(sprog))
+        assert structurally_equal(sprog, reparsed)
+        # and the reparsed version still elaborates
+        elaborate(reparsed)
+
+    def test_declarations_covered(self):
+        src = """PROGRAM d
+PARAM n = 8
+PROCESSORS p(2, 2)
+TEMPLATE t(n, n)
+DISTRIBUTE t(BLOCK, CYCLIC) ONTO p
+REAL a(n, n) ALIGN WITH t
+INTEGER k
+END"""
+        program = parse(src)
+        text = unparse(program)
+        for token in ("PARAM", "PROCESSORS", "TEMPLATE", "DISTRIBUTE",
+                      "ALIGN", "REAL", "INTEGER", "CYCLIC"):
+            assert token in text
+        assert structurally_equal(program, parse(text))
+
+    def test_expressions_covered(self):
+        src = """PROGRAM e
+PARAM n = 8
+REAL a(n)
+REAL s
+s = -1 + 2 * 3 / 4
+s = SQRT(ABS(s))
+s = SUM(a(1:n:2)) + MAXVAL(a(:)) + MINVAL(a(2:))
+IF s > 0 AND NOT s == 3 THEN
+a(1) = MOD(2, 3)
+END IF
+END"""
+        program = parse(src)
+        assert structurally_equal(program, parse(unparse(program)))
+
+
+@st.composite
+def small_program(draw):
+    n = 10
+    lines = ["PROGRAM h", f"PARAM n = {n}", "REAL a(n)", "REAL b(n)", "REAL s"]
+    for _ in range(draw(st.integers(1, 4))):
+        kind = draw(st.sampled_from(["assign", "loop", "if"]))
+        if kind == "assign":
+            lo = draw(st.integers(1, 3))
+            hi = draw(st.integers(5, 8))
+            step = draw(st.sampled_from([1, 2]))
+            lines.append(f"a({lo}:{hi}:{step}) = b({lo}:{hi}:{step}) + 1")
+        elif kind == "loop":
+            lines.append("DO i = 1, 5")
+            lines.append("b(i) = a(i) * 2")
+            lines.append("END DO")
+        else:
+            lines.append("IF s > 0 THEN")
+            lines.append("s = s - 1")
+            lines.append("ELSE")
+            lines.append("s = s + 1")
+            lines.append("END IF")
+    lines.append("END")
+    return "\n".join(lines)
+
+
+class TestPropertyRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(source=small_program())
+    def test_fixed_point(self, source):
+        """print(parse(print(parse(s)))) == print(parse(s)): the printer
+        reaches a fixed point after one round."""
+        once = unparse(parse(source))
+        twice = unparse(parse(once))
+        assert once == twice

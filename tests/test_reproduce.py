@@ -1,0 +1,61 @@
+"""Tests for the one-shot reproduction driver."""
+
+from __future__ import annotations
+
+from repro.evaluation.reproduce import (
+    CheckResult,
+    Reproduction,
+    check_dynamic_oracles,
+    check_fig5,
+    check_fig10_table,
+    run_reproduction,
+)
+
+
+class TestReproductionReport:
+    def test_record_and_verdict(self):
+        repro = Reproduction()
+        repro.record("a", True, "fine")
+        repro.record("b", True)
+        assert repro.ok
+        repro.record("c", False, "broke")
+        assert not repro.ok
+
+    def test_format_mentions_status(self):
+        repro = Reproduction()
+        repro.record("alpha", True, "d1")
+        repro.record("beta", False, "d2")
+        text = repro.format()
+        assert "[PASS] alpha" in text
+        assert "[FAIL] beta" in text
+        assert "SOME CHECKS FAILED (1/2)" in text
+
+    def test_all_passed_banner(self):
+        repro = Reproduction()
+        repro.record("only", True)
+        assert "ALL CHECKS PASSED (1/1)" in repro.format()
+
+
+class TestChecks:
+    def test_fig10_table_checks_pass(self):
+        repro = Reproduction()
+        check_fig10_table(repro)
+        assert len(repro.checks) == 7
+        assert repro.ok
+
+    def test_fig5_checks_pass(self):
+        repro = Reproduction()
+        check_fig5(repro)
+        assert len(repro.checks) == 2
+        assert repro.ok
+
+    def test_dynamic_oracles_pass(self):
+        repro = Reproduction()
+        check_dynamic_oracles(repro)
+        assert len(repro.checks) == 6
+        assert repro.ok
+
+    def test_run_without_charts(self):
+        repro = run_reproduction(include_charts=False)
+        assert repro.ok
+        assert len(repro.checks) == 15  # 7 table + 2 fig5 + 6 dynamic

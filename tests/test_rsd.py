@@ -1,0 +1,154 @@
+"""Regular Section Descriptor algebra: unit tests plus property tests
+against brute-force element sets."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sections.rsd import EMPTY_DIM, RSD, DimSection
+
+
+def dims_st():
+    return st.builds(
+        DimSection,
+        st.integers(-20, 40),
+        st.integers(-20, 60),
+        st.integers(1, 7),
+    )
+
+
+def elements(d: DimSection) -> set[int]:
+    return set(d.elements())
+
+
+class TestDimSectionBasics:
+    def test_empty_canonical(self):
+        assert DimSection(5, 3).is_empty
+        assert DimSection(5, 3) == DimSection(10, 1)
+
+    def test_hi_normalized_to_last_element(self):
+        assert DimSection(1, 10, 4) == DimSection(1, 9, 4)
+
+    def test_singleton_step_normalized(self):
+        assert DimSection(3, 3, 5) == DimSection(3, 3, 1)
+
+    def test_count(self):
+        assert DimSection(1, 10).count() == 10
+        assert DimSection(1, 10, 3).count() == 4
+        assert EMPTY_DIM.count() == 0
+
+    def test_contains_point(self):
+        d = DimSection(2, 10, 2)
+        assert d.contains_point(4)
+        assert not d.contains_point(5)
+        assert not d.contains_point(12)
+
+    def test_shifted(self):
+        assert DimSection(1, 5).shifted(3) == DimSection(4, 8)
+        assert EMPTY_DIM.shifted(3).is_empty
+
+    def test_clipped(self):
+        assert DimSection(1, 10, 3).clipped(3, 8) == DimSection(4, 7, 3)
+
+
+class TestDimSectionAlgebra:
+    def test_contains_strided(self):
+        assert DimSection(1, 15, 2).contains(DimSection(3, 9, 4))
+        assert not DimSection(1, 15, 2).contains(DimSection(2, 8, 2))
+
+    def test_intersect_offset_strides(self):
+        # odds ∩ evens = empty
+        assert DimSection(1, 15, 2).intersect(DimSection(2, 16, 2)).is_empty
+
+    def test_intersect_crt(self):
+        # 1,4,7,10,13 ∩ 3,7,11,15 = {7}; lcm(3,4)=12 so next would be 19
+        got = DimSection(1, 13, 3).intersect(DimSection(3, 15, 4))
+        assert got == DimSection(7, 7)
+
+    def test_hull_exact_adjacent_strides(self):
+        h, exact = DimSection(1, 15, 2).hull(DimSection(2, 16, 2))
+        assert h == DimSection(1, 16, 1)
+        assert exact
+
+    def test_hull_inexact(self):
+        h, exact = DimSection(1, 3).hull(DimSection(10, 12))
+        assert h.contains(DimSection(1, 3)) and h.contains(DimSection(10, 12))
+        assert not exact
+
+    @given(dims_st(), dims_st())
+    def test_contains_matches_sets(self, a, b):
+        assert a.contains(b) == (elements(b) <= elements(a))
+
+    @given(dims_st(), dims_st())
+    def test_intersect_matches_sets(self, a, b):
+        assert elements(a.intersect(b)) == (elements(a) & elements(b))
+
+    @given(dims_st(), dims_st())
+    def test_hull_is_superset(self, a, b):
+        h, exact = a.hull(b)
+        union = elements(a) | elements(b)
+        assert union <= elements(h)
+        if exact:
+            assert elements(h) == union
+
+    @given(dims_st(), dims_st())
+    def test_union_count_exact(self, a, b):
+        assert a.union_count(b) == len(elements(a) | elements(b))
+
+    @given(dims_st())
+    def test_intersect_self_identity(self, a):
+        assert elements(a.intersect(a)) == elements(a)
+
+    @given(dims_st(), dims_st())
+    def test_intersect_commutes(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+
+class TestRSD:
+    def test_whole(self):
+        r = RSD.whole((4, 6))
+        assert r.count() == 24
+        assert r.contains(RSD.of((1, 4), (2, 5)))
+
+    def test_contains_per_dim(self):
+        big = RSD.of((1, 10), (1, 10))
+        assert big.contains(RSD.of((2, 5), (3, 9, 2)))
+        assert not big.contains(RSD.of((0, 5), (3, 9)))
+
+    def test_empty_propagates(self):
+        r = RSD.of((1, 4), (5, 3))
+        assert r.is_empty
+        assert r.count() == 0
+
+    def test_intersect(self):
+        a = RSD.of((1, 8), (1, 8, 2))
+        b = RSD.of((4, 12), (2, 8, 2))
+        assert a.intersect(b).is_empty  # second dim: odds vs evens
+
+    def test_overlaps(self):
+        a = RSD.of((1, 8), (1, 8))
+        b = RSD.of((8, 12), (8, 8))
+        assert a.overlaps(b)
+
+    def test_hull_one_dim_differs_exact(self):
+        a = RSD.of((1, 4), (1, 8))
+        b = RSD.of((5, 8), (1, 8))
+        h, exact = a.hull(b)
+        assert h == RSD.of((1, 8), (1, 8))
+        assert exact
+
+    def test_hull_two_dims_differ_checks_cardinality(self):
+        a = RSD.of((1, 2), (1, 2))
+        b = RSD.of((5, 6), (5, 6))
+        h, exact = a.hull(b)
+        assert not exact
+        assert h.contains(a) and h.contains(b)
+
+    def test_bytes(self):
+        assert RSD.of((1, 10)).bytes(8) == 80
+
+    def test_union_count(self):
+        a = RSD.of((1, 4))
+        b = RSD.of((3, 6))
+        assert a.union_count(b) == 6

@@ -1,0 +1,171 @@
+"""SSA construction tests: φ placement, preserving chains, reaching defs."""
+
+from __future__ import annotations
+
+from repro.frontend.parser import parse
+from repro.ir.cfg import CFG, NodeKind
+from repro.ir.dominators import DominatorInfo
+from repro.ir.ssa import SSA, EntryDef, PhiDef, RegularDef
+
+
+def build(source: str, tracked=None):
+    cfg = CFG(parse(source))
+    dom = DominatorInfo(cfg)
+    if tracked is None:
+        # Track every array/scalar name referenced anywhere, except loop
+        # induction variables.
+        import repro.frontend.ast_nodes as ast
+
+        tracked = set()
+        for stmt in cfg.program.statements():
+            if isinstance(stmt, ast.Assign):
+                tracked.add(stmt.lhs.name)
+                for node in ast.walk_expr(stmt.rhs):
+                    if isinstance(node, (ast.VarRef, ast.ArrayRef)):
+                        tracked.add(node.name)
+    tracked -= {loop.var for loop in cfg.loops}
+    return cfg, SSA(cfg, dom, tracked)
+
+
+SRC_LOOP = """PROGRAM t
+REAL a(8)
+a(1) = 0
+DO i = 1, 8
+a(i) = a(i) + 1
+END DO
+a(2) = a(1)
+END"""
+
+
+class TestPhiPlacement:
+    def test_loop_header_and_postexit_phis(self):
+        cfg, ssa = build(SRC_LOOP)
+        (loop,) = cfg.loops
+        header_phis = ssa.phis[loop.header.id]
+        postexit_phis = ssa.phis[loop.postexit.id]
+        assert [p.var for p in header_phis] == ["a"]
+        assert [p.var for p in postexit_phis] == ["a"]
+        assert header_phis[0].kind == "enter"
+        assert postexit_phis[0].kind == "exit"
+
+    def test_phi_enter_params(self):
+        cfg, ssa = build(SRC_LOOP)
+        (loop,) = cfg.loops
+        (phi,) = ssa.phis[loop.header.id]
+        r_pre, r_post = phi.params
+        # r_pre: the def before the loop (a(1) = 0).
+        assert isinstance(r_pre, RegularDef) and str(r_pre.stmt) == "a(1) = 0"
+        # r_post: the def inside the loop body.
+        assert isinstance(r_post, RegularDef) and "a(i)" in str(r_post.stmt)
+
+    def test_phi_exit_params(self):
+        cfg, ssa = build(SRC_LOOP)
+        (loop,) = cfg.loops
+        (phi,) = ssa.phis[loop.postexit.id]
+        zero_trip, from_loop = phi.params
+        assert isinstance(zero_trip, RegularDef)  # the pre-loop def
+        assert isinstance(from_loop, PhiDef)  # the header φ via the exit edge
+        assert from_loop.kind == "enter"
+
+    def test_join_phi_for_branch(self):
+        src = """PROGRAM t
+REAL a(8)
+REAL s
+IF s > 0 THEN
+a(1) = 1
+ELSE
+a(2) = 2
+END IF
+s = a(3)
+END"""
+        cfg, ssa = build(src)
+        join = next(n for n in cfg.nodes if n.kind is NodeKind.JOIN)
+        (phi,) = [p for p in ssa.phis[join.id] if p.var == "a"]
+        assert phi.kind == "join"
+        assert all(isinstance(p, RegularDef) for p in phi.params)
+
+    def test_no_phi_for_untouched_variable(self):
+        src = """PROGRAM t
+REAL a(8)
+REAL b(8)
+b(1) = 1
+DO i = 1, 4
+a(i) = 0
+END DO
+END"""
+        cfg, ssa = build(src)
+        (loop,) = cfg.loops
+        assert [p.var for p in ssa.phis[loop.header.id]] == ["a"]
+
+
+class TestDefsAndUses:
+    def test_entry_def_per_variable(self):
+        cfg, ssa = build(SRC_LOOP)
+        assert set(ssa.entry_defs) == {"a"}
+        assert isinstance(ssa.entry_defs["a"], EntryDef)
+
+    def test_array_defs_preserving_with_prev(self):
+        cfg, ssa = build(SRC_LOOP)
+        for defs in ssa.defs_of_stmt.values():
+            for d in defs:
+                assert d.preserving
+                assert d.prev is not None
+
+    def test_scalar_defs_not_preserving(self):
+        cfg, ssa = build("PROGRAM t\nREAL s\ns = 1\ns = 2\nEND")
+        all_defs = [d for ds in ssa.defs_of_stmt.values() for d in ds]
+        assert all(not d.preserving for d in all_defs)
+
+    def test_use_reaches_nearest_dominating_def(self):
+        cfg, ssa = build(SRC_LOOP)
+        last = list(cfg.assigns())[-1]  # a(2) = a(1)
+        use = next(u for u in ssa.uses if u.stmt is last)
+        assert isinstance(use.reaching, PhiDef)
+        assert use.reaching.kind == "exit"
+
+    def test_use_in_loop_reaches_header_phi(self):
+        cfg, ssa = build(SRC_LOOP)
+        body_stmt = next(s for s in cfg.assigns() if "+ 1" in str(s))
+        use = next(u for u in ssa.uses if u.stmt is body_stmt)
+        assert isinstance(use.reaching, PhiDef)
+        assert use.reaching.kind == "enter"
+
+    def test_use_after_def_in_same_block(self):
+        cfg, ssa = build("PROGRAM t\nREAL a(4)\na(1) = 0\na(2) = a(1)\nEND")
+        use = next(u for u in ssa.uses)
+        assert isinstance(use.reaching, RegularDef)
+        assert str(use.reaching.stmt) == "a(1) = 0"
+
+    def test_reduction_use_flag(self):
+        cfg, ssa = build(
+            "PROGRAM t\nREAL a(8)\nREAL s\ns = SUM(a(1:8))\nEND"
+        )
+        use = next(u for u in ssa.uses if u.var == "a")
+        assert use.in_reduction
+
+    def test_lhs_subscript_reads_are_uses(self):
+        cfg, ssa = build("PROGRAM t\nREAL a(8)\nREAL k\na(1) = 2\nk = 1\nEND")
+        # no subscript var use here, but the machinery must not crash; now
+        # with an actual subscript scalar:
+        cfg, ssa = build("PROGRAM t\nREAL a(8)\nREAL k\nk = 1\nEND")
+        assert all(u.var != "a" for u in ssa.uses)
+
+    def test_versions_unique_per_variable(self):
+        cfg, ssa = build(SRC_LOOP)
+        versions = [
+            (d.var, d.version) for d in ssa.all_defs()
+        ]
+        assert len(versions) == len(set(versions))
+
+    def test_use_of_lookup(self):
+        cfg, ssa = build(SRC_LOOP)
+        body_stmt = next(s for s in cfg.assigns() if "+ 1" in str(s))
+        import repro.frontend.ast_nodes as ast
+
+        ref = next(ast.array_refs(body_stmt.rhs))
+        use = ssa.use_of(body_stmt, ref)
+        assert use.ref is ref
+
+    def test_dump_nonempty(self):
+        cfg, ssa = build(SRC_LOOP)
+        assert "φ" in ssa.dump()

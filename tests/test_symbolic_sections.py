@@ -1,0 +1,199 @@
+"""Symbolic section (SymDim/SymSection) tests."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.affine import Affine
+from repro.sections.symbolic import SymDim, SymSection
+
+
+def const_dim(lo: int, hi: int, step: int = 1) -> SymDim:
+    return SymDim(Affine.constant(lo), Affine.constant(hi), step)
+
+
+class TestSymDim:
+    def test_point(self):
+        d = SymDim.point(Affine.symbol("i"))
+        assert d.is_point
+        assert d.span_const() == 0
+        assert d.count_const() == 1
+
+    def test_span_const_with_symbols(self):
+        lo = Affine.symbol("i") - 1
+        hi = Affine.symbol("i") + 2
+        d = SymDim(lo, hi)
+        assert d.span_const() == 3
+        assert d.count_const() == 4
+
+    def test_span_non_const(self):
+        d = SymDim(Affine.constant(1), Affine.symbol("n"))
+        assert d.span_const() is None
+        assert d.count_const() is None
+
+    def test_contains_constant_offsets(self):
+        big = const_dim(1, 10)
+        assert big.contains(const_dim(3, 7))
+        assert not big.contains(const_dim(0, 7))
+        assert not big.contains(const_dim(3, 11))
+
+    def test_contains_symbolic_same_offset(self):
+        i = Affine.symbol("i")
+        big = SymDim(i - 1, i + 1)
+        small = SymDim(i, i)
+        assert big.contains(small)
+        assert not small.contains(big)
+
+    def test_contains_mismatched_symbols_conservative(self):
+        a = SymDim(Affine.symbol("i"), Affine.symbol("i"))
+        b = SymDim(Affine.symbol("j"), Affine.symbol("j"))
+        assert not a.contains(b)
+
+    def test_contains_strides(self):
+        odds = const_dim(1, 15, 2)
+        all_ = const_dim(1, 15, 1)
+        assert all_.contains(odds)
+        assert not odds.contains(all_)
+        assert not odds.contains(const_dim(2, 8, 2))
+
+    def test_inexact_never_subsumes(self):
+        approx = SymDim(Affine.constant(1), Affine.constant(10), 1, exact=False)
+        assert not approx.contains(const_dim(3, 4))
+        # An exact dim MAY subsume an inexact one: the real footprint is a
+        # subset of the inexact box, so box containment is sound.
+        assert const_dim(1, 10).contains(
+            SymDim(Affine.constant(3), Affine.constant(4), 1, exact=False)
+        )
+
+    def test_hull_constant(self):
+        h = const_dim(1, 4).hull(const_dim(6, 9))
+        assert h is not None
+        assert (h.lo.const, h.hi.const) == (1, 9)
+
+    def test_hull_symbolic_offsets(self):
+        i = Affine.symbol("i")
+        h = SymDim(i - 1, i).hull(SymDim(i, i + 1))
+        assert h is not None
+        assert h.lo == i - 1 and h.hi == i + 1
+
+    def test_hull_incomparable(self):
+        a = SymDim(Affine.symbol("i"), Affine.symbol("i"))
+        b = SymDim(Affine.symbol("j"), Affine.symbol("j"))
+        assert a.hull(b) is None
+
+
+class TestWiden:
+    def test_widen_point_over_loop(self):
+        # subscript i-1, i in 2..9 -> 1..8
+        d = SymDim.point(Affine.symbol("i") - 1)
+        w = d.widen("i", Affine.constant(2), 1, 7, True)
+        assert w.lo == Affine.constant(1)
+        assert w.hi == Affine.constant(8)
+        assert w.step == 1 and w.exact
+
+    def test_widen_strided_loop(self):
+        # subscript j, j = 1, 15, 2
+        d = SymDim.point(Affine.symbol("j"))
+        w = d.widen("j", Affine.constant(1), 2, 7, True)
+        assert (w.lo.const, w.hi.const, w.step) == (1, 15, 2)
+
+    def test_widen_scaled_coefficient(self):
+        # subscript 2*k + 1, k = 0..7 -> 1, 3, ..., 15
+        d = SymDim.point(Affine.symbol("k").scaled(2) + 1)
+        w = d.widen("k", Affine.constant(0), 1, 7, True)
+        assert (w.lo.const, w.hi.const, w.step) == (1, 15, 2)
+
+    def test_widen_negative_coefficient(self):
+        # subscript 10 - i, i = 1..4 -> 6..9
+        d = SymDim.point(10 - Affine.symbol("i"))
+        w = d.widen("i", Affine.constant(1), 1, 3, True)
+        assert (w.lo.const, w.hi.const) == (6, 9)
+
+    def test_widen_uninvolved_var_is_identity(self):
+        d = SymDim.point(Affine.symbol("i"))
+        assert d.widen("j", Affine.constant(1), 1, 3, True) is d
+
+    def test_widen_twice_inexact(self):
+        d = SymDim.point(Affine.symbol("i") + Affine.symbol("j"))
+        w1 = d.widen("j", Affine.constant(0), 1, 3, True)
+        w2 = w1.widen("i", Affine.constant(0), 1, 3, True)
+        assert not w2.exact
+        # But the box still covers everything.
+        assert (w2.lo.const, w2.hi.const) == (0, 6)
+
+    def test_widen_inexact_trips_flagged(self):
+        d = SymDim.point(Affine.symbol("i"))
+        w = d.widen("i", Affine.constant(1), 1, 5, False)
+        assert not w.exact
+
+    @given(
+        lo=st.integers(0, 5),
+        step=st.integers(1, 3),
+        trips=st.integers(0, 6),
+        coeff=st.integers(-3, 3).filter(lambda c: c != 0),
+        offset=st.integers(-5, 5),
+    )
+    def test_widen_matches_enumeration(self, lo, step, trips, coeff, offset):
+        d = SymDim.point(Affine.symbol("v").scaled(coeff) + offset)
+        w = d.widen("v", Affine.constant(lo), step, trips, True)
+        values = {coeff * (lo + step * k) + offset for k in range(trips + 1)}
+        assert w.lo.const == min(values)
+        assert w.hi.const == max(values)
+        # exact single-var widening: element set must match exactly
+        got = set(range(w.lo.const, w.hi.const + 1, w.step))
+        assert got == values
+
+
+class TestSymSection:
+    def _sec(self, name, *dims):
+        return SymSection(name, tuple(dims))
+
+    def test_contains(self):
+        a = self._sec("a", const_dim(1, 10), const_dim(1, 10))
+        b = self._sec("a", const_dim(2, 5), const_dim(1, 10, 2))
+        assert a.contains(b)
+        assert not b.contains(a)
+
+    def test_contains_requires_same_array(self):
+        a = self._sec("a", const_dim(1, 10))
+        b = self._sec("b", const_dim(2, 5))
+        assert not a.contains(b)
+
+    def test_same_shape_ignores_unit_dims(self):
+        g = self._sec(
+            "g", SymDim.point(Affine.symbol("i")), const_dim(3, 10), const_dim(2, 9)
+        )
+        glast = self._sec("glast", const_dim(3, 10), const_dim(2, 9))
+        assert g.same_shape(glast)
+
+    def test_same_shape_spans_must_match(self):
+        a = self._sec("a", const_dim(1, 8))
+        b = self._sec("b", const_dim(1, 9))
+        assert not a.same_shape(b)
+
+    def test_concretize(self):
+        i = Affine.symbol("i")
+        sec = self._sec("a", SymDim(i - 1, i - 1), const_dim(1, 6, 1))
+        rsd = sec.concretize({"i": 4}, (8, 6))
+        assert rsd.dims[0].lo == 3 and rsd.dims[0].hi == 3
+        assert rsd.dims[1].count() == 6
+
+    def test_concretize_clips_to_extent(self):
+        sec = self._sec("a", const_dim(-2, 100))
+        rsd = sec.concretize({}, (8,))
+        assert (rsd.dims[0].lo, rsd.dims[0].hi) == (1, 8)
+
+    def test_max_count_point_dim_is_one(self):
+        sec = self._sec("a", SymDim.point(Affine.symbol("i")), const_dim(1, 6))
+        assert sec.max_count({"i": (1, 100)}) == 6
+
+    def test_hull(self):
+        a = self._sec("a", const_dim(1, 4))
+        b = self._sec("a", const_dim(5, 8))
+        h = a.hull(b)
+        assert h is not None and h.dims[0].count_const() == 8
+
+    def test_str(self):
+        sec = self._sec("a", const_dim(1, 4, 2))
+        assert "a[" in str(sec)

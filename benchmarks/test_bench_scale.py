@@ -10,24 +10,7 @@ at each size.
 from __future__ import annotations
 
 from repro.core.pipeline import Strategy, compile_program
-
-
-def synthetic_program(phases: int) -> str:
-    """``phases`` stencil statements over ``phases`` arrays, all shifted
-    reads of the previous phase's output inside one time loop."""
-    arrays = [f"x{i}" for i in range(phases + 1)]
-    decls = "\n".join(
-        f"REAL {a}(n)\nDISTRIBUTE {a}(BLOCK) ONTO p" for a in arrays
-    )
-    stmts = "\n".join(
-        f"{arrays[i + 1]}(2:n-1) = {arrays[i]}(1:n-2) + {arrays[i]}(3:n)"
-        for i in range(phases)
-    )
-    feedback = f"{arrays[0]}(2:n-1) = {arrays[-1]}(2:n-1)"
-    return (
-        f"PROGRAM scale\nPARAM n = 64\nPROCESSORS p(4)\n{decls}\n"
-        f"DO t = 1, 10\n{stmts}\n{feedback}\nEND DO\nEND"
-    )
+from repro.perf.bench import synthetic_program
 
 
 def compile_sizes(sizes: list[int]) -> dict[int, tuple[int, int]]:

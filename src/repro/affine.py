@@ -47,10 +47,20 @@ class Affine:
 
     @staticmethod
     def constant(value: int) -> "Affine":
+        cached = _CONSTANTS.get(value)
+        if cached is not None:
+            return cached
         return Affine(value)
 
     @staticmethod
     def symbol(name: str, coeff: int = 1) -> "Affine":
+        if coeff == 1:
+            cached = _SYMBOLS.get(name)
+            if cached is None:
+                cached = Affine(0, {name: 1})
+                if len(_SYMBOLS) < _SYMBOL_POOL_LIMIT:
+                    _SYMBOLS[name] = cached
+            return cached
         return Affine(0, {name: coeff})
 
     # -- predicates --------------------------------------------------------
@@ -187,3 +197,11 @@ class Affine:
             else:
                 parts.append(str(self.const))
         return "".join(parts)
+
+
+# Interning pools for the overwhelmingly common forms (Affine is immutable,
+# so sharing is safe).  Constants cover typical bounds/offsets; the symbol
+# pool is bounded because dependence testing mints fresh variable names.
+_CONSTANTS: dict[int, Affine] = {v: Affine(v) for v in range(-64, 1025)}
+_SYMBOL_POOL_LIMIT = 4096
+_SYMBOLS: dict[str, Affine] = {}

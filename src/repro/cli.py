@@ -97,10 +97,74 @@ def cmd_profile(_args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_reproduce(_args: argparse.Namespace) -> int:
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    from .core.context import CompilerOptions
     from .evaluation.reproduce import main as reproduce_main
 
-    return reproduce_main()
+    options = None
+    if getattr(args, "no_caches", False):
+        options = CompilerOptions(enable_caches=False)
+    return reproduce_main(options)
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    from .core.context import CompilerOptions
+    from .perf.batch import BatchCompiler, BatchJob, benchmark_jobs
+
+    options = CompilerOptions(enable_caches=not args.no_caches)
+    if args.benchmarks:
+        jobs = benchmark_jobs(
+            strategies=[s.value for s in Strategy], options=options
+        )
+    elif args.files:
+        params = _parse_params(args.param)
+        jobs = [
+            BatchJob(
+                name=path,
+                source=open(path).read(),
+                params=params or None,
+                strategy=args.strategy,
+                options=options,
+            )
+            for path in args.files
+        ]
+    else:
+        raise SystemExit("batch: give source files or --benchmarks")
+
+    compiler = BatchCompiler(workers=args.workers)
+    for round_no in range(args.repeat):
+        results = compiler.run(jobs)
+        if round_no == 0 or args.repeat > 1:
+            print(f"-- round {round_no + 1}")
+            for r in results:
+                tag = "cache" if r.from_cache else f"{r.elapsed * 1000:5.1f}ms"
+                if r.error:
+                    print(f"  [FAIL] {r.name}: {r.error}")
+                else:
+                    print(
+                        f"  [{tag}] {r.name}: {r.call_sites} call sites "
+                        f"{r.call_sites_by_kind}"
+                    )
+    s = compiler.stats
+    print(
+        f"== {s.jobs} jobs: {s.compiled} compiled, {s.cache_hits} cache hits, "
+        f"{s.deduped} deduped, {s.errors} errors in {s.elapsed:.3f}s "
+        f"(hit rate {s.hit_rate:.0%})"
+    )
+    return 1 if s.errors else 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .perf.bench import format_bench, write_bench
+
+    payload = write_bench(
+        path=args.output,
+        repeats=args.repeats,
+        synthetic_phases=args.phases,
+    )
+    print(format_bench(payload))
+    print(f"\nwrote {args.output}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -141,9 +205,39 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("profile", help="Figure 5 bandwidth profiles").set_defaults(
         func=cmd_profile
     )
-    sub.add_parser(
+    p = sub.add_parser(
         "reproduce", help="run every paper check and print PASS/FAIL"
-    ).set_defaults(func=cmd_reproduce)
+    )
+    p.add_argument("--no-caches", action="store_true",
+                   help="disable every memoized analysis cache (ablation)")
+    p.set_defaults(func=cmd_reproduce)
+
+    p = sub.add_parser(
+        "batch", help="batch-compile many programs with result caching"
+    )
+    p.add_argument("files", nargs="*", help="mini-HPF source files")
+    p.add_argument("--benchmarks", action="store_true",
+                   help="compile the paper's benchmark programs instead")
+    p.add_argument("--strategy", default="comb",
+                   help="orig | nored | comb (default comb; files only)")
+    p.add_argument("--param", action="append", default=[], metavar="NAME=INT")
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool size (1 = serial, default)")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="run the batch N times (demonstrates result caching)")
+    p.add_argument("--no-caches", action="store_true",
+                   help="disable the per-compile analysis caches")
+    p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser(
+        "bench", help="perf-regression harness; writes BENCH_compile.json"
+    )
+    p.add_argument("--output", default="BENCH_compile.json")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="best-of-N timing repeats (default 3)")
+    p.add_argument("--phases", type=int, default=48,
+                   help="synthetic stencil size for the ablation (default 48)")
+    p.set_defaults(func=cmd_bench)
     return parser
 
 

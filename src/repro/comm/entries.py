@@ -19,18 +19,36 @@ from ..frontend import ast_nodes as ast
 from ..frontend.analysis import ProgramInfo
 from ..ir.cfg import CFG, Loop, Node, Position
 from ..ir.ssa import Use
+from ..perf.stats import CacheStats
 from ..sections.symbolic import SymDim, SymSection
 from .patterns import CommPattern
 
 
 class SectionBuilder:
     """Computes the symbolic data section a use needs when its
-    communication is placed at a given CFG node."""
+    communication is placed at a given CFG node.
 
-    def __init__(self, info: ProgramInfo, cfg: CFG) -> None:
+    Sections are hash-consed: value-equal results share one object via the
+    intern pool, and the per-(use, node) memo cache makes repeated queries
+    from the redundancy/combining passes O(1).  Both caches can be
+    disabled (``cache_enabled=False``) for the ablation/equivalence suite;
+    results are byte-identical either way.
+    """
+
+    def __init__(
+        self,
+        info: ProgramInfo,
+        cfg: CFG,
+        cache_enabled: bool = True,
+        stats: "CacheStats | None" = None,
+    ) -> None:
         self.info = info
         self.cfg = cfg
+        self.cache_enabled = cache_enabled
+        self.stats = stats
         self._cache: dict[tuple[int, int, int], SymSection] = {}
+        self._section_pool: dict[SymSection, SymSection] = {}
+        self._ranges_cache: dict[int, dict[str, tuple[int, int]]] = {}
 
     # -- loop range helpers ------------------------------------------------------
 
@@ -73,10 +91,20 @@ class SectionBuilder:
     def section_at(self, use: Use, placement: Node) -> SymSection:
         """The section ``use`` reads, widened over every loop that contains
         the use but not the placement node."""
+        if not self.cache_enabled:
+            return self._build(use, placement)
         key = (use.stmt.sid, id(use.ref), placement.id)
-        if key in self._cache:
-            return self._cache[key]
+        cached = self._cache.get(key)
+        if cached is not None:
+            if self.stats is not None:
+                self.stats.hits += 1
+            return cached
+        if self.stats is not None:
+            self.stats.misses += 1
         section = self._build(use, placement)
+        # Hash-consing: placements widening to the same footprint share one
+        # descriptor, so downstream equality checks hit the identity path.
+        section = self._section_pool.setdefault(section, section)
         self._cache[key] = section
         return section
 
@@ -133,14 +161,22 @@ class SectionBuilder:
         return SymSection(ref.name, tuple(dims))
 
     def live_ranges_at(self, node: Node) -> dict[str, tuple[int, int]]:
-        """Value ranges of loop variables live at ``node``."""
-        return self.loop_ranges(node.loops_containing())
+        """Value ranges of loop variables live at ``node`` (memoized per
+        node — the greedy pass asks for the same node's ranges once per
+        entry pair)."""
+        if not self.cache_enabled:
+            return self.loop_ranges(node.loops_containing())
+        ranges = self._ranges_cache.get(node.id)
+        if ranges is None:
+            ranges = self.loop_ranges(node.loops_containing())
+            self._ranges_cache[node.id] = ranges
+        return ranges
 
 
 _entry_counter = 0
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class CommEntry:
     """One communication requirement, tracked through placement.
 
@@ -161,6 +197,9 @@ class CommEntry:
     eliminated_by: Optional["CommEntry"] = None
     id: int = -1
     label: str = ""
+    _candidate_set: Optional[frozenset[Position]] = field(
+        default=None, repr=False
+    )
 
     def __post_init__(self) -> None:
         global _entry_counter
@@ -182,8 +221,13 @@ class CommEntry:
     def alive(self) -> bool:
         return self.eliminated_by is None
 
-    def candidate_set(self) -> set[Position]:
-        return set(self.candidates)
+    def candidate_set(self) -> frozenset[Position]:
+        """The candidate chain as a set, memoized — candidate marking
+        invalidates it when (re)assigning the chain."""
+        cached = self._candidate_set
+        if cached is None or len(cached) != len(self.candidates):
+            cached = self._candidate_set = frozenset(self.candidates)
+        return cached
 
     def __repr__(self) -> str:
         return f"<comm {self.id} {self.label} {self.pattern}>"

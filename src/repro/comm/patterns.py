@@ -23,7 +23,7 @@ sections differ and the section machinery accounts for that.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from ..affine import Affine, NonAffineError
@@ -39,13 +39,20 @@ def _grid_key(layout: Layout) -> GridKey:
     return (layout.grid.name, layout.grid.shape)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ShiftMapping:
     """Processor-space shift: ``proc_shifts[axis]`` processors along each
     grid axis (0 = no movement along that axis)."""
 
     grid: GridKey
     proc_shifts: tuple[int, ...]
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.grid, self.proc_shifts)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def is_nnc(self) -> bool:
@@ -61,13 +68,20 @@ class ShiftMapping:
         return f"shift({arrows})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReductionMapping:
     """Combine partial results across ``axes`` of the grid with ``op``."""
 
     grid: GridKey
     axes: tuple[int, ...]
     op: str
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.grid, self.axes, self.op)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def procs_combined(self) -> int:
         shape = self.grid[1]
@@ -77,12 +91,19 @@ class ReductionMapping:
         return f"reduce[{self.op}](axes={list(self.axes)})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AllGatherMapping:
     """Every processor receives the section (replicated consumer)."""
 
     grid: GridKey
     axes: tuple[int, ...]
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.grid, self.axes)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def procs_combined(self) -> int:
         shape = self.grid[1]
@@ -92,13 +113,20 @@ class AllGatherMapping:
         return f"allgather(axes={list(self.axes)})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GeneralMapping:
     """Catch-all many-to-many mapping, keyed by a structural signature so
     identical general communications can still combine."""
 
     grid: GridKey
     signature: str
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.grid, self.signature)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return f"general({self.signature})"
@@ -110,18 +138,19 @@ Mapping = Union[ShiftMapping, ReductionMapping, AllGatherMapping, GeneralMapping
 def mappings_combinable(a: Mapping, b: Mapping) -> bool:
     """The paper's compatibility criterion: identical sender-receiver
     relations (or one a subset of the other).  With processor-space
-    canonical forms, that reduces to equality."""
-    return a == b
+    canonical forms, that reduces to equality.  Mappings are interned by
+    the classifier, so the identity fast path usually decides."""
+    return a is b or a == b
 
 
 def mapping_subsumes(a: Mapping, b: Mapping) -> bool:
     """May a communication with mapping ``a`` satisfy one with mapping
     ``b`` (given the data sections subsume)?  ``M1(D1) ⊆ M2(D1)`` in the
     paper; equality after canonicalization."""
-    return a == b
+    return a is b or a == b
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommPattern:
     """The classified communication requirement of one use."""
 
@@ -129,6 +158,15 @@ class CommPattern:
     mapping: Mapping
     # For shifts: per-array-dimension element offsets (dim -> delta).
     elem_shifts: tuple[tuple[int, int], ...] = ()
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_hash", hash((self.kind, self.mapping, self.elem_shifts))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def is_reduction(self) -> bool:
@@ -139,10 +177,26 @@ class CommPattern:
 
 
 class PatternClassifier:
-    """Classifies uses of distributed arrays into communication patterns."""
+    """Classifies uses of distributed arrays into communication patterns.
+
+    Patterns (and the mappings inside them) are hash-consed through a
+    per-classifier intern pool: value-equal patterns are returned as the
+    *same* object, so the equality tests in ``mappings_combinable`` /
+    ``mapping_subsumes`` almost always decide via the identity fast path.
+    """
 
     def __init__(self, info: ProgramInfo) -> None:
         self.info = info
+        self._pattern_pool: dict[CommPattern, CommPattern] = {}
+        self._mapping_pool: dict[Mapping, Mapping] = {}
+
+    def _intern(self, pattern: Optional[CommPattern]) -> Optional[CommPattern]:
+        if pattern is None:
+            return None
+        mapping = self._mapping_pool.setdefault(pattern.mapping, pattern.mapping)
+        if mapping is not pattern.mapping:
+            pattern = CommPattern(pattern.kind, mapping, pattern.elem_shifts)
+        return self._pattern_pool.setdefault(pattern, pattern)
 
     def classify(self, use: Use) -> Optional[CommPattern]:
         """Return the pattern for ``use``, or None when no communication is
@@ -155,8 +209,8 @@ class PatternClassifier:
             return None  # replicated array: every processor has it
 
         if use.in_reduction:
-            return self._classify_reduction(ref, layout, use)
-        return self._classify_elementwise(use.stmt, ref, layout)
+            return self._intern(self._classify_reduction(ref, layout, use))
+        return self._intern(self._classify_elementwise(use.stmt, ref, layout))
 
     # -- reductions ----------------------------------------------------------
 

@@ -40,6 +40,7 @@ def mark_candidates(ctx: AnalysisContext, entry: CommEntry) -> None:
         entry.candidates = ctx.positions_in_node(
             e_node, start=e_pos.index, end=l_pos.index
         )
+        entry._candidate_set = None
         return
 
     path = ctx.dom.dom_tree_path(l_node, e_node)  # latest ... earliest
@@ -53,6 +54,7 @@ def mark_candidates(ctx: AnalysisContext, entry: CommEntry) -> None:
             chain.extend(reversed(ctx.positions_in_node(node)))
     chain.reverse()  # earliest-first
     entry.candidates = chain
+    entry._candidate_set = None
 
 
 def verify_candidates(ctx: AnalysisContext, entry: CommEntry) -> None:

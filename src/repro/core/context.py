@@ -18,6 +18,7 @@ from ..frontend.analysis import ProgramInfo
 from ..ir.cfg import CFG, Node, Position
 from ..ir.dominators import DominatorInfo
 from ..ir.ssa import SSA
+from ..perf.stats import CacheStatsRegistry
 
 
 @dataclass
@@ -47,6 +48,12 @@ class CompilerOptions:
     # and cache contention); 'earliest' maximizes CPU-network overlap (§6's
     # trade-off, exercised by the overlap ablation benchmark).
     group_placement: str = "latest"  # 'latest' | 'earliest'
+    # Master switch for every memoized analysis cache (section memo,
+    # dependence-verdict memo, live-range memo, combinability and
+    # subsumption verdict caches).  Exists so the perf-equivalence suite
+    # can assert that cached and uncached pipelines produce byte-identical
+    # schedules; leave True outside of that ablation.
+    enable_caches: bool = True
 
 
 class AnalysisContext:
@@ -59,9 +66,29 @@ class AnalysisContext:
         self.dom = DominatorInfo(self.cfg)
         tracked = set(info.layouts) | set(info.scalars)
         self.ssa = SSA(self.cfg, self.dom, tracked)
-        self.tester = DependenceTester(info, self.cfg)
-        self.sections = SectionBuilder(info, self.cfg)
+        caches_on = self.options.enable_caches
+        self.cache_stats = CacheStatsRegistry()
+        self.tester = DependenceTester(
+            info,
+            self.cfg,
+            cache_enabled=caches_on,
+            stats=self.cache_stats.get("dependence"),
+        )
+        self.sections = SectionBuilder(
+            info,
+            self.cfg,
+            cache_enabled=caches_on,
+            stats=self.cache_stats.get("section"),
+        )
         self.classifier = PatternClassifier(info)
+        # Pass-level verdict caches (paper §4.6/§4.7 predicates).  Both
+        # predicates depend on the queried Position only through its
+        # *node* — sections and live ranges are per-node — so verdicts are
+        # keyed on (entry ids, node id) and shared across every position
+        # of a block.  Entry ids are globally unique, and the caches die
+        # with the context, so keys can never collide across compiles.
+        self._combinable_cache: dict[tuple[int, int, int], bool] = {}
+        self._subsumes_cache: dict[tuple[int, int, int], bool] = {}
 
     # -- position helpers -------------------------------------------------------
 
@@ -76,7 +103,8 @@ class AnalysisContext:
     ) -> list[Position]:
         if end is None:
             end = len(node.stmts) - 1
-        return [Position(node.id, i) for i in range(start, end + 1)]
+        position = self.cfg.position
+        return [position(node.id, i) for i in range(start, end + 1)]
 
     # -- entry discovery -----------------------------------------------------------
 

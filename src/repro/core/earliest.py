@@ -136,7 +136,7 @@ def def_position(ctx: AnalysisContext, d: SSADef) -> Position:
     if isinstance(d, RegularDef):
         return ctx.cfg.position_after(d.stmt)
     # ENTRY pseudo-def or φ-def: the top of the def's node.
-    return Position(d.node.id, -1)
+    return ctx.cfg.position(d.node.id, -1)
 
 
 def compute_earliest(ctx: AnalysisContext, entry: CommEntry) -> None:

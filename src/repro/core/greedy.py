@@ -28,6 +28,33 @@ from .state import PlacedComm, PlacementState
 def _combinable_at(
     ctx: AnalysisContext, a: CommEntry, b: CommEntry, pos: Position
 ) -> bool:
+    """Memoizing wrapper around the §4.7 compatibility predicate.
+
+    The verdict depends on ``pos`` only through its node (sections and
+    live ranges are per-node) and is symmetric in (a, b), so it is cached
+    under the unordered id pair plus the node id — one evaluation serves
+    every position of a block, in both argument orders.
+    """
+    if not ctx.options.enable_caches:
+        return _combinable_at_impl(ctx, a, b, pos)
+    if a.id <= b.id:
+        key = (a.id, b.id, pos.node_id)
+    else:
+        key = (b.id, a.id, pos.node_id)
+    stats = ctx.cache_stats.get("combinable")
+    verdict = ctx._combinable_cache.get(key)
+    if verdict is not None:
+        stats.hits += 1
+        return verdict
+    stats.misses += 1
+    verdict = _combinable_at_impl(ctx, a, b, pos)
+    ctx._combinable_cache[key] = verdict
+    return verdict
+
+
+def _combinable_at_impl(
+    ctx: AnalysisContext, a: CommEntry, b: CommEntry, pos: Position
+) -> bool:
     node = ctx.node_of(pos)
     ranges = ctx.sections.live_ranges_at(node)
     sec_a = ctx.sections.section_at(a.use, node)

@@ -95,7 +95,7 @@ def compute_latest(ctx: AnalysisContext, entry: CommEntry) -> None:
     # (loops_containing is outermost-first, so index ``level``).
     loop = use.node.loops_containing()[level]
     pre = loop.preheader
-    entry.latest_pos = Position(pre.id, len(pre.stmts) - 1)
+    entry.latest_pos = ctx.cfg.position(pre.id, len(pre.stmts) - 1)
 
 
 def extend_reduction_latest(
@@ -125,7 +125,7 @@ def extend_reduction_latest(
     for phis in ctx.ssa.phis.values():
         for phi in phis:
             if any(p is result_def for p in phi.params):
-                barriers.append(Position(phi.node.id, -1))
+                barriers.append(ctx.cfg.position(phi.node.id, -1))
     if not barriers:
         return None
 
@@ -147,7 +147,7 @@ def extend_reduction_latest(
     for p in barriers:
         if p.node_id == nca.id:
             limit = min(limit, p.index)
-    extended = Position(nca.id, limit)
+    extended = ctx.cfg.position(nca.id, limit)
 
     after_stmt = ctx.cfg.position_after(stmt)
     if not ctx.position_dominates(after_stmt, extended):

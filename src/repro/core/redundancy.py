@@ -30,9 +30,31 @@ from .state import PlacementState
 def subsumes_at(
     ctx: AnalysisContext, winner: CommEntry, loser: CommEntry, pos: Position
 ) -> bool:
-    """Does ``winner``'s communication at ``pos`` fully cover ``loser``'s?"""
+    """Does ``winner``'s communication at ``pos`` fully cover ``loser``'s?
+
+    Verdicts are memoized per (winner, loser, node): the predicate sees
+    ``pos`` only through its node (sections widen per-node), but it is
+    *not* symmetric, so the id pair stays ordered.
+    """
     if winner is loser:
         return False
+    if not ctx.options.enable_caches:
+        return _subsumes_at_impl(ctx, winner, loser, pos)
+    key = (winner.id, loser.id, pos.node_id)
+    stats = ctx.cache_stats.get("subsumes")
+    verdict = ctx._subsumes_cache.get(key)
+    if verdict is not None:
+        stats.hits += 1
+        return verdict
+    stats.misses += 1
+    verdict = _subsumes_at_impl(ctx, winner, loser, pos)
+    ctx._subsumes_cache[key] = verdict
+    return verdict
+
+
+def _subsumes_at_impl(
+    ctx: AnalysisContext, winner: CommEntry, loser: CommEntry, pos: Position
+) -> bool:
     if winner.array != loser.array:
         return False
     if winner.is_reduction != loser.is_reduction:

@@ -46,6 +46,14 @@ class PlacementState:
         self.active: dict[int, set[Position]] = {
             e.id: set(e.candidates) for e in entries
         }
+        # Inverted CommSet index: position -> ids of entries active there.
+        # This is the exact dual of ``active`` (not a memo cache — every
+        # mutation below updates both), turning the CommSet(S) view from a
+        # scan over all entries into a dict lookup.
+        self._at: dict[Position, set[int]] = {}
+        for e in entries:
+            for p in self.active[e.id]:
+                self._at.setdefault(p, set()).add(e.id)
         # Constraint sets from redundancy elimination: when entry A absorbs
         # entry B, A's group must finally land in positions where the
         # subsumption of B holds.
@@ -54,16 +62,16 @@ class PlacementState:
     # -- CommSet views -------------------------------------------------------
 
     def comm_set(self, pos: Position) -> set[int]:
-        """Entry ids active at ``pos`` (the paper's CommSet(S))."""
-        return {
-            eid for eid, positions in self.active.items() if pos in positions
-        }
+        """Entry ids active at ``pos`` (the paper's CommSet(S)).
+
+        Returns a live read-only view of the index — callers must not
+        mutate it (all current callers iterate or copy).
+        """
+        ids = self._at.get(pos)
+        return ids if ids is not None else set()
 
     def all_positions(self) -> list[Position]:
-        positions: set[Position] = set()
-        for eid, pset in self.active.items():
-            positions |= pset
-        return sorted(positions)
+        return sorted(p for p, ids in self._at.items() if ids)
 
     def stmt_set(self, entry: CommEntry) -> set[Position]:
         """The paper's StmtSet(c): positions where the entry is active."""
@@ -72,21 +80,27 @@ class PlacementState:
     # -- mutations ------------------------------------------------------------
 
     def deactivate(self, entry: CommEntry, pos: Position) -> None:
-        self.active[entry.id].discard(pos)
+        positions = self.active[entry.id]
+        if pos in positions:
+            positions.discard(pos)
+            self._at[pos].discard(entry.id)
 
     def deactivate_dominated(self, entry: CommEntry, pos: Position) -> None:
         """Remove the entry from ``pos`` and every position it dominates
         (Fig 9f's dominance-ordered clearing)."""
+        positions = self.active[entry.id]
         doomed = [
-            p
-            for p in self.active[entry.id]
-            if self.ctx.position_dominates(pos, p)
+            p for p in positions if self.ctx.position_dominates(pos, p)
         ]
         for p in doomed:
-            self.active[entry.id].discard(p)
+            positions.discard(p)
+            self._at[p].discard(entry.id)
 
     def restrict(self, entry: CommEntry, keep: set[Position]) -> None:
-        self.active[entry.id] &= keep
+        positions = self.active[entry.id]
+        for p in positions - keep:
+            self._at[p].discard(entry.id)
+        positions &= keep
 
     def alive_entries(self) -> list[CommEntry]:
         return [e for e in self.entries if e.alive]
@@ -101,6 +115,8 @@ class PlacementState:
         victim.eliminated_by = by
         by.absorbed.append(victim)
         self.absorb_constraints.setdefault(by.id, []).append(valid_positions)
+        for p in self.active[victim.id]:
+            self._at[p].discard(victim.id)
         self.active[victim.id] = set()
 
     def common_positions(

@@ -19,31 +19,43 @@ from .state import PlacementState
 
 
 def subset_eliminate(ctx: AnalysisContext, state: PlacementState) -> int:
-    """Run subset elimination to a fixed point; returns the number of
-    positions emptied."""
-    emptied = 0
-    changed = True
-    while changed:
-        changed = False
-        positions = [p for p in state.all_positions() if state.comm_set(p)]
-        sets = {p: frozenset(state.comm_set(p)) for p in positions}
-        for p1 in positions:
-            s1 = sets[p1]
-            if not s1:
-                continue
-            for p2 in positions:
-                if p1 == p2:
-                    continue
-                s2 = sets[p2]
-                if not s1 <= s2:
-                    continue
-                if s1 == s2 and not ctx.position_dominates(p1, p2):
-                    # Equal sets: empty only the earlier position.
-                    continue
-                for eid in s1:
-                    state.deactivate(state.by_id[eid], p1)
-                sets[p1] = frozenset()
-                emptied += 1
-                changed = True
-                break
-    return emptied
+    """Run subset elimination; returns the number of positions emptied.
+
+    One pass reaches the fixed point: emptying CommSet(S1) never changes
+    any other position's CommSet, so the subset relation among the
+    *initial* sets already determines the outcome.  (A witness that is
+    itself emptied is fine — following witness links, which only grow the
+    set or move strictly later in dominance, always terminates at a
+    surviving witness for the same position.)  Comparing against
+    positions with smaller CommSets is skipped outright.
+    """
+    positions = [p for p in state.all_positions() if state.comm_set(p)]
+    sets = {p: frozenset(state.comm_set(p)) for p in positions}
+    # Positions sharing a CommSet behave identically, so compare *distinct*
+    # sets (far fewer than positions — every interior position of a block
+    # has the same set) and resolve equal-set ties inside each bucket.
+    buckets: dict[frozenset[int], list[Position]] = {}
+    for p in positions:
+        buckets.setdefault(sets[p], []).append(p)
+    distinct = list(buckets)
+    doomed: list[Position] = []
+    for s1 in distinct:
+        n1 = len(s1)
+        if any(n1 < len(s2) and s1 <= s2 for s2 in distinct):
+            # Strictly contained: every position with this set goes.
+            doomed.extend(buckets[s1])
+            continue
+        # Equal sets: empty only the earlier positions (keep the
+        # dominance-maximal ones, consistent with the push-late rule).
+        group = buckets[s1]
+        if len(group) > 1:
+            dominates = ctx.position_dominates
+            doomed.extend(
+                p1
+                for p1 in group
+                if any(p1 is not p2 and dominates(p1, p2) for p2 in group)
+            )
+    for p in doomed:
+        for eid in sets[p]:
+            state.deactivate(state.by_id[eid], p)
+    return len(doomed)

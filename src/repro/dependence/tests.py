@@ -24,6 +24,7 @@ from ..errors import DependenceError
 from ..frontend import ast_nodes as ast
 from ..frontend.analysis import ProgramInfo
 from ..ir.cfg import CFG, Loop, Node, NodeKind
+from ..perf.stats import CacheStats
 from .subscripts import LoopContext, common_prefix_length
 
 _fresh = itertools.count()
@@ -87,10 +88,21 @@ class _RefForms:
 class DependenceTester:
     """Flow-dependence queries over one program's CFG."""
 
-    def __init__(self, info: ProgramInfo, cfg: CFG) -> None:
+    def __init__(
+        self,
+        info: ProgramInfo,
+        cfg: CFG,
+        cache_enabled: bool = True,
+        stats: "CacheStats | None" = None,
+    ) -> None:
         self.info = info
         self.cfg = cfg
+        self.cache_enabled = cache_enabled
+        self.stats = stats
         self._cache: dict[tuple, DepResult] = {}
+        # LoopContext is a pure function of (loop chain, tag): normalized
+        # names derive from loop var/depth, no fresh symbols are minted.
+        self._loopctx_cache: dict[tuple, LoopContext] = {}
 
     def precedes_forward(
         self, def_stmt: ast.Assign, use_stmt: ast.Assign
@@ -121,9 +133,16 @@ class DependenceTester:
         loop-independent flag."""
         if def_ref.name != use_ref.name:
             raise DependenceError("flow_dependence called on different arrays")
+        if not self.cache_enabled:
+            return self._test(def_stmt, def_ref, use_stmt, use_ref)
         key = (def_stmt.sid, id(def_ref), use_stmt.sid, id(use_ref))
-        if key in self._cache:
-            return self._cache[key]
+        cached = self._cache.get(key)
+        if cached is not None:
+            if self.stats is not None:
+                self.stats.hits += 1
+            return cached
+        if self.stats is not None:
+            self.stats.misses += 1
         result = self._test(def_stmt, def_ref, use_stmt, use_ref)
         self._cache[key] = result
         return result
@@ -169,7 +188,7 @@ class DependenceTester:
         named consistently between the two sides so equality constraints
         can be expressed by renaming; deeper loops and triplet dimensions
         get side-private variables."""
-        ctx = LoopContext(self.info, loops, tag=side)
+        ctx = self._loop_context(loops, side)
         ranges = ctx.norm_ranges
         common_vars = [nl.norm_var for nl in ctx.loops[:cnl]]
         common_trips = [nl.trip_max for nl in ctx.loops[:cnl]]
@@ -190,6 +209,16 @@ class DependenceTester:
                 ranges[var] = (0, count_max)
                 forms.append(lo + Affine.symbol(var, step))
         return _RefForms(forms, ranges, common_vars, common_trips)
+
+    def _loop_context(self, loops: list[Loop], tag: str) -> LoopContext:
+        if not self.cache_enabled:
+            return LoopContext(self.info, loops, tag=tag)
+        key = (tag, tuple(l.stmt.sid for l in loops))
+        ctx = self._loopctx_cache.get(key)
+        if ctx is None:
+            ctx = LoopContext(self.info, loops, tag=tag)
+            self._loopctx_cache[key] = ctx
+        return ctx
 
     def _triplet_bounds(
         self, array: str, dim: int, sub: ast.Triplet, ctx: LoopContext

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..core.context import CompilerOptions
 from ..core.pipeline import Strategy, compile_all_strategies
 from ..machine.model import MACHINES
 from .fig5_profile import profile_machine
@@ -51,8 +52,10 @@ class Reproduction:
         return "\n".join(lines)
 
 
-def check_fig10_table(repro: Reproduction) -> None:
-    rows = build_table()
+def check_fig10_table(
+    repro: Reproduction, options: "CompilerOptions | None" = None
+) -> None:
+    rows = build_table(options)
     for row in rows:
         repro.record(
             f"Fig 10 table: {row.benchmark}/{row.routine}/{row.comm_type}",
@@ -61,9 +64,11 @@ def check_fig10_table(repro: Reproduction) -> None:
         )
 
 
-def check_fig10_charts(repro: Reproduction) -> None:
+def check_fig10_charts(
+    repro: Reproduction, options: "CompilerOptions | None" = None
+) -> None:
     for key in CHART_SPECS:
-        chart = run_chart(key)
+        chart = run_chart(key, options)
         monotone = all(
             p.normalized("comb") <= p.normalized("nored") + 1e-9
             and p.normalized("nored") <= 1.0 + 1e-9
@@ -89,7 +94,9 @@ def check_fig5(repro: Reproduction) -> None:
         )
 
 
-def check_dynamic_oracles(repro: Reproduction) -> None:
+def check_dynamic_oracles(
+    repro: Reproduction, options: "CompilerOptions | None" = None
+) -> None:
     import numpy as np
 
     from ..runtime.checker import check_schedule
@@ -105,7 +112,9 @@ def check_dynamic_oracles(repro: Reproduction) -> None:
         "hydflo_hydro": {"n": 8, "nsteps": 2, "pr": 2, "pc": 2},
     }
     for program, params in small.items():
-        results = compile_all_strategies(BENCHMARKS[program], params=params)
+        results = compile_all_strategies(
+            BENCHMARKS[program], params=params, options=options
+        )
         try:
             for result in results.values():
                 check_schedule(result)
@@ -120,18 +129,20 @@ def check_dynamic_oracles(repro: Reproduction) -> None:
             repro.record(f"dynamic validation: {program}", False, str(exc))
 
 
-def run_reproduction(include_charts: bool = True) -> Reproduction:
+def run_reproduction(
+    include_charts: bool = True, options: "CompilerOptions | None" = None
+) -> Reproduction:
     repro = Reproduction()
-    check_fig10_table(repro)
+    check_fig10_table(repro, options)
     if include_charts:
-        check_fig10_charts(repro)
+        check_fig10_charts(repro, options)
     check_fig5(repro)
-    check_dynamic_oracles(repro)
+    check_dynamic_oracles(repro, options)
     return repro
 
 
-def main() -> int:
-    repro = run_reproduction()
+def main(options: "CompilerOptions | None" = None) -> int:
+    repro = run_reproduction(options=options)
     print(repro.format())
     return 0 if repro.ok else 1
 

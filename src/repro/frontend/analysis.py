@@ -75,6 +75,12 @@ class ProgramInfo:
     scalars: dict[str, ast.ScalarDecl]
     array_decls: dict[str, ast.ArrayDecl] = field(default_factory=dict)
     default_grid: ProcessorGrid | None = None
+    # Memo for :meth:`affine`, keyed by expression identity.  The value
+    # keeps a reference to the expression so an id() can never be reused
+    # while its cache entry is alive.
+    _affine_cache: dict[int, tuple[ast.Expr, Affine]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def layout(self, array: str) -> Layout:
         try:
@@ -100,8 +106,15 @@ class ProgramInfo:
         return form.const
 
     def affine(self, expr: ast.Expr) -> Affine:
-        """Affine form of an index expression with parameters folded."""
-        return to_affine(expr, self.params)
+        """Affine form of an index expression with parameters folded
+        (memoized per expression object; params are fixed per info)."""
+        key = id(expr)
+        cached = self._affine_cache.get(key)
+        if cached is not None and cached[0] is expr:
+            return cached[1]
+        form = to_affine(expr, self.params)
+        self._affine_cache[key] = (expr, form)
+        return form
 
 
 def elaborate(

@@ -8,7 +8,7 @@ statements) but a trailing ``&`` continues a statement onto the next line.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import re
 
 from ..errors import LexError, SourceLocation
 
@@ -57,123 +57,91 @@ _OPERATORS = [
 ]
 
 
-@dataclass(frozen=True)
 class Token:
     """One lexical token: a ``kind``, its source ``text``, and location.
 
     Kinds: ``IDENT``, ``NUMBER``, ``NEWLINE``, ``EOF``, any keyword string,
-    or the operator text itself.
+    or the operator text itself.  A plain slotted class (not a dataclass):
+    token construction is the lexer's per-character inner loop.
     """
 
-    kind: str
-    text: str
-    loc: SourceLocation
+    __slots__ = ("kind", "text", "loc")
+
+    def __init__(self, kind: str, text: str, loc: SourceLocation) -> None:
+        self.kind = kind
+        self.text = text
+        self.loc = loc
 
     def __repr__(self) -> str:
         return f"Token({self.kind}, {self.text!r}, {self.loc})"
 
 
+# One master pattern, tried in order (alternation is first-match): skipped
+# trivia first, then numbers before identifiers (so '1e5' lexes as a
+# number), multi-char operators before their single-char prefixes.  A '&'
+# only matches when it legally ends a line (optional trailing blanks and
+# comment); a stray '&' falls through to the error path below.
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<WS>[ \t\r]+)
+    | (?P<COMMENT>![^\n]*)
+    | (?P<CONT>&[ \t\r]*(?:![^\n]*)?\n)
+    | (?P<NL>\n)
+    | (?P<NUMBER>(?:\d+(?:\.\d*)?|\.\d+)(?:[eEdD][+-]?\d+)?)
+    | (?P<IDENT>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<OP>==|/=|<=|>=|[+\-*/<>(),:=;])
+    """,
+    re.VERBOSE,
+)
+
+
 def tokenize(source: str) -> list[Token]:
     """Convert mini-HPF source text into a token list ending with EOF."""
     tokens: list[Token] = []
+    append = tokens.append
     line = 1
-    col = 1
+    line_start = 0  # offset of the current line's first character
     i = 0
     n = len(source)
-
-    def loc() -> SourceLocation:
-        return SourceLocation(line, col)
-
-    def emit(kind: str, text: str) -> None:
-        tokens.append(Token(kind, text, loc()))
+    match = _TOKEN_RE.match
 
     while i < n:
-        ch = source[i]
-
-        if ch == "!":
-            while i < n and source[i] != "\n":
-                i += 1
+        m = match(source, i)
+        if m is None:
+            col = i - line_start + 1
+            if source[i] == "&":
+                raise LexError("'&' must end a line", SourceLocation(line, col))
+            raise LexError(
+                f"unexpected character {source[i]!r}", SourceLocation(line, col)
+            )
+        kind = m.lastgroup
+        i = m.end()
+        if kind == "WS" or kind == "COMMENT":
             continue
-
-        if ch == "&":
-            # Line continuation: swallow everything through the next newline.
-            j = i + 1
-            while j < n and source[j] in " \t\r":
-                j += 1
-            if j < n and source[j] == "!":
-                while j < n and source[j] != "\n":
-                    j += 1
-            if j < n and source[j] == "\n":
-                i = j + 1
-                line += 1
-                col = 1
-                continue
-            raise LexError("'&' must end a line", loc())
-
-        if ch == "\n":
-            if tokens and tokens[-1].kind not in ("NEWLINE",):
-                emit("NEWLINE", "\n")
-            i += 1
+        if kind == "CONT":
             line += 1
-            col = 1
+            line_start = i
             continue
-
-        if ch in " \t\r":
-            i += 1
-            col += 1
+        if kind == "NL":
+            if tokens and tokens[-1].kind != "NEWLINE":
+                append(
+                    Token("NEWLINE", "\n", SourceLocation(line, m.start() - line_start + 1))
+                )
+            line += 1
+            line_start = i
             continue
-
-        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
-            start = i
-            seen_dot = False
-            seen_exp = False
-            while i < n:
-                c = source[i]
-                if c.isdigit():
-                    i += 1
-                elif c == "." and not seen_dot and not seen_exp:
-                    # Don't eat '..' or a '.' that starts '.AND.' style text;
-                    # the language has no ranges with '..' so a single dot
-                    # following digits is always part of the number.
-                    seen_dot = True
-                    i += 1
-                elif c in "eEdD" and not seen_exp and i + 1 < n and (
-                    source[i + 1].isdigit()
-                    or (source[i + 1] in "+-" and i + 2 < n and source[i + 2].isdigit())
-                ):
-                    seen_exp = True
-                    i += 1
-                    if source[i] in "+-":
-                        i += 1
-                else:
-                    break
-            text = source[start:i]
-            emit("NUMBER", text.replace("d", "e").replace("D", "e"))
-            col += i - start
-            continue
-
-        if ch.isalpha() or ch == "_":
-            start = i
-            while i < n and (source[i].isalnum() or source[i] == "_"):
-                i += 1
-            text = source[start:i]
+        loc = SourceLocation(line, m.start() - line_start + 1)
+        text = m.group()
+        if kind == "NUMBER":
+            append(Token("NUMBER", text.replace("d", "e").replace("D", "e"), loc))
+        elif kind == "IDENT":
             upper = text.upper()
             if upper in KEYWORDS:
-                emit(upper, upper)
+                append(Token(upper, upper, loc))
             else:
-                emit("IDENT", text.lower())
-            col += i - start
-            continue
+                append(Token("IDENT", text.lower(), loc))
+        else:  # OP
+            append(Token("NEWLINE" if text == ";" else text, text, loc))
 
-        for op in _OPERATORS:
-            if source.startswith(op, i):
-                kind = "NEWLINE" if op == ";" else op
-                emit(kind, op)
-                i += len(op)
-                col += len(op)
-                break
-        else:
-            raise LexError(f"unexpected character {ch!r}", loc())
-
-    tokens.append(Token("EOF", "", SourceLocation(line, col)))
+    tokens.append(Token("EOF", "", SourceLocation(line, n - line_start + 1)))
     return tokens

@@ -46,7 +46,7 @@ class NodeKind(enum.Enum):
         return self.value
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Node:
     """One basic block of the augmented CFG."""
 
@@ -59,6 +59,7 @@ class Node:
     branch_cond: Optional[ast.Expr] = None
     label: str = ""
     origin_sid: int = -1  # for BRANCH/JOIN: sid of the originating IF
+    _loop_chain: Optional[list["Loop"]] = field(default=None, repr=False)
 
     @property
     def nl(self) -> int:
@@ -66,13 +67,18 @@ class Node:
         return self.loop.depth if self.loop is not None else 0
 
     def loops_containing(self) -> list["Loop"]:
-        """Enclosing loops, outermost first."""
-        chain: list[Loop] = []
-        loop = self.loop
-        while loop is not None:
-            chain.append(loop)
-            loop = loop.parent
-        chain.reverse()
+        """Enclosing loops, outermost first.  Memoized (the loop nest is
+        fixed once the CFG is built); callers treat the list as read-only.
+        """
+        chain = self._loop_chain
+        if chain is None:
+            chain = []
+            loop = self.loop
+            while loop is not None:
+                chain.append(loop)
+                loop = loop.parent
+            chain.reverse()
+            self._loop_chain = chain
         return chain
 
     def __repr__(self) -> str:
@@ -124,7 +130,6 @@ class Loop:
         return f"<loop {self.var}@{self.depth}>"
 
 
-@dataclass(frozen=True, order=True)
 class Position:
     """A placement point: immediately after ``node.stmts[index]``.
 
@@ -133,10 +138,55 @@ class Position:
     preheader placements land.  Ordering is (node.id, index), which is only
     meaningful within a node; cross-node ordering questions go through
     dominance.
+
+    Positions are the single hottest value type of the placement passes
+    (CommSet members, cache keys, dominance-query operands), so the class
+    is slotted, its hash is computed once at construction, and equality
+    takes an identity fast path — :meth:`CFG.position` interns them so
+    positions of one program usually *are* the same object.
     """
 
-    node_id: int
-    index: int
+    __slots__ = ("node_id", "index", "_hash")
+
+    def __init__(self, node_id: int, index: int) -> None:
+        self.node_id = node_id
+        self.index = index
+        self._hash = hash((node_id, index))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Position):
+            return NotImplemented
+        return self.node_id == other.node_id and self.index == other.index
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Position") -> bool:
+        return (self.node_id, self.index) < (other.node_id, other.index)
+
+    def __le__(self, other: "Position") -> bool:
+        return (self.node_id, self.index) <= (other.node_id, other.index)
+
+    def __gt__(self, other: "Position") -> bool:
+        return (self.node_id, self.index) > (other.node_id, other.index)
+
+    def __ge__(self, other: "Position") -> bool:
+        return (self.node_id, self.index) >= (other.node_id, other.index)
+
+    def __getstate__(self) -> tuple[int, int]:
+        return (self.node_id, self.index)
+
+    def __setstate__(self, state: tuple[int, int]) -> None:
+        self.__init__(*state)
+
+    def __repr__(self) -> str:
+        return f"Position(node_id={self.node_id}, index={self.index})"
 
     def __str__(self) -> str:
         return f"n{self.node_id}.{'top' if self.index < 0 else self.index}"
@@ -150,6 +200,11 @@ class CFG:
         self.nodes: list[Node] = []
         self.loops: list[Loop] = []
         self._stmt_place: dict[int, tuple[Node, int]] = {}
+        # Intern pool: one canonical Position object per (node, index) of
+        # this program, so set/dict probes hit the identity fast path.
+        # Lifetime is tied to the CFG (one compile), so the pool cannot
+        # grow across a batch-serving process.
+        self._positions: dict[tuple[int, int], Position] = {}
         self.entry = self._new_node(NodeKind.ENTRY, label="ENTRY")
         self.exit = self._new_node(NodeKind.EXIT, label="EXIT")
         self._lower(program)
@@ -266,7 +321,12 @@ class CFG:
                 if node not in s.preds:
                     raise PlacementError(f"CFG edge {node}->{s} not mirrored")
         for loop in self.loops:
-            loop.body_nodes = [n for n in self.nodes if loop.contains_node(n)]
+            loop.body_nodes = []
+        for node in self.nodes:  # one ancestor walk per node, in id order
+            loop = node.loop
+            while loop is not None:
+                loop.body_nodes.append(node)
+                loop = loop.parent
 
     # -- queries ------------------------------------------------------------
 
@@ -277,13 +337,22 @@ class CFG:
         """(node, statement index within node) of an Assign."""
         return self._stmt_place[stmt.sid]
 
+    def position(self, node_id: int, index: int) -> Position:
+        """The interned Position for (node_id, index); value-equal to a
+        freshly constructed ``Position`` but canonical per CFG."""
+        key = (node_id, index)
+        pos = self._positions.get(key)
+        if pos is None:
+            pos = self._positions[key] = Position(node_id, index)
+        return pos
+
     def position_before(self, stmt: ast.Assign) -> Position:
         node, idx = self._stmt_place[stmt.sid]
-        return Position(node.id, idx - 1)
+        return self.position(node.id, idx - 1)
 
     def position_after(self, stmt: ast.Assign) -> Position:
         node, idx = self._stmt_place[stmt.sid]
-        return Position(node.id, idx)
+        return self.position(node.id, idx)
 
     def node_by_id(self, node_id: int) -> Node:
         return self.nodes[node_id]

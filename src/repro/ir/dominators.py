@@ -65,9 +65,15 @@ class DominatorInfo:
 
     def _dfs_order(self) -> None:
         """Preorder/postorder numbering of the dominator tree enabling O(1)
-        dominance queries."""
-        self._pre: dict[int, int] = {}
-        self._post: dict[int, int] = {}
+        dominance queries, plus the dominator-tree depth table.
+
+        All three are dense lists indexed by node id (ids are assigned
+        contiguously by the CFG), so dominance queries are two list
+        indexings with no dict probing and no node lookup."""
+        n = len(self.cfg.nodes)
+        self._pre: list[int] = [0] * n
+        self._post: list[int] = [0] * n
+        self._depth: list[int] = [0] * n
         counter = 0
         stack: list[tuple[Node, bool]] = [(self.cfg.entry, False)]
         while stack:
@@ -78,6 +84,8 @@ class DominatorInfo:
                 continue
             self._pre[node.id] = counter
             counter += 1
+            if node is not self.cfg.entry:
+                self._depth[node.id] = self._depth[self.idom[node.id].id] + 1
             stack.append((node, True))
             for child in reversed(self.children[node.id]):
                 stack.append((child, False))
@@ -135,18 +143,19 @@ class DominatorInfo:
         """Does placement point ``a`` dominate placement point ``b``?
 
         Within one node, earlier positions dominate later ones; across
-        nodes, block dominance decides.
+        nodes, block dominance decides.  Operates directly on the dense
+        pre/post tables keyed by ``node_id`` — no node object is ever
+        fetched (this is the single most-called query of the placement
+        passes).
         """
-        if a.node_id == b.node_id:
+        na, nb = a.node_id, b.node_id
+        if na == nb:
             return a.index <= b.index
-        return self.dominates(
-            self.cfg.node_by_id(a.node_id), self.cfg.node_by_id(b.node_id)
-        )
+        pre = self._pre
+        return pre[na] <= pre[nb] and self._post[nb] <= self._post[na]
 
     def dominator_depth(self, node: Node) -> int:
-        depth = 0
-        cur: Node | None = node
-        while cur is not None and cur is not self.cfg.entry:
-            cur = self.dom_tree_parent(cur)
-            depth += 1
-        return depth
+        """Depth of ``node`` in the dominator tree (entry = 0), from the
+        table filled during :meth:`_dfs_order` — O(1) instead of the old
+        O(depth) parent walk."""
+        return self._depth[node.id]

@@ -1,0 +1,204 @@
+"""Perf-regression harness: phase timings, throughput, cache hit rates.
+
+``python -m repro bench`` times every stage of the compilation pipeline —
+parse, frontend elaboration/scalarization, analysis-context construction,
+entry analysis, and placement — over the paper's four benchmark programs
+and a large synthetic stencil program, runs the cached-vs-uncached
+ablation, and writes the whole measurement as ``BENCH_compile.json`` so a
+checked-in baseline can be diffed against future runs.
+
+The JSON payload reports, per program: phase wall times (best of
+``repeats``), entries analyzed per second, and the hit rate of every
+memoized analysis cache (section, dependence, combinability, subsumption).
+The ``ablation`` section compiles the synthetic program with
+``enable_caches`` on and off and reports the speedup — the number the
+perf-regression benchmark asserts on.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable
+
+from ..core.context import AnalysisContext, CompilerOptions
+from ..core.pipeline import Strategy, analyze_entries, compile_program, place
+from ..frontend.analysis import elaborate
+from ..frontend.parser import parse
+from ..frontend.scalarizer import scalarize
+
+
+def synthetic_program(phases: int) -> str:
+    """``phases`` stencil statements over ``phases + 1`` arrays, each a
+    shifted read of the previous phase's output, inside one time loop.
+    The scalability workload: entries grow linearly, CommSet work roughly
+    quadratically."""
+    arrays = [f"x{i}" for i in range(phases + 1)]
+    decls = "\n".join(
+        f"REAL {a}(n)\nDISTRIBUTE {a}(BLOCK) ONTO p" for a in arrays
+    )
+    stmts = "\n".join(
+        f"{arrays[i + 1]}(2:n-1) = {arrays[i]}(1:n-2) + {arrays[i]}(3:n)"
+        for i in range(phases)
+    )
+    feedback = f"{arrays[0]}(2:n-1) = {arrays[-1]}(2:n-1)"
+    return (
+        f"PROGRAM scale\nPARAM n = 64\nPROCESSORS p(4)\n{decls}\n"
+        f"DO t = 1, 10\n{stmts}\n{feedback}\nEND DO\nEND"
+    )
+
+
+def _best_of(repeats: int, fn: Callable[[], Any]) -> tuple[float, Any]:
+    """(best wall time, last result) of ``repeats`` calls."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        dt = time.perf_counter() - t0
+        if dt < best:
+            best = dt
+    return best, result
+
+
+def _cache_rates(ctx: AnalysisContext) -> dict[str, dict[str, float | int]]:
+    return ctx.cache_stats.as_dict()
+
+
+def profile_compile(
+    source: str,
+    params: dict[str, int] | None = None,
+    options: CompilerOptions | None = None,
+    repeats: int = 3,
+) -> dict[str, Any]:
+    """Phase-by-phase wall times for one program (best of ``repeats``)."""
+    phases: dict[str, float] = {}
+
+    phases["parse"], program = _best_of(repeats, lambda: parse(source))
+    phases["elaborate"], info = _best_of(
+        repeats, lambda: elaborate(program, params)
+    )
+    phases["scalarize"], sprog = _best_of(
+        repeats, lambda: scalarize(program, info)
+    )
+    info2 = elaborate(sprog, params)
+
+    phases["context"], _ = _best_of(
+        repeats, lambda: AnalysisContext(info2, options)
+    )
+
+    def run_analysis():
+        ctx = AnalysisContext(info2, options)
+        return ctx, analyze_entries(ctx)
+
+    analysis_total, (ctx, entries) = _best_of(repeats, run_analysis)
+    phases["analyze_entries"] = analysis_total - phases["context"]
+
+    def run_place():
+        c = AnalysisContext(info2, options)
+        e = analyze_entries(c)
+        t0 = time.perf_counter()
+        placed = place(c, e, Strategy.GLOBAL)
+        return time.perf_counter() - t0, c
+
+    place_best = float("inf")
+    for _ in range(repeats):
+        dt, ctx = run_place()
+        place_best = min(place_best, dt)
+    phases["place"] = place_best
+
+    total, _ = _best_of(
+        repeats, lambda: compile_program(source, params, options=options)
+    )
+    n_entries = len(entries)
+    return {
+        "phases_s": {k: round(v, 6) for k, v in phases.items()},
+        "total_s": round(total, 6),
+        "entries": n_entries,
+        "entries_per_s": round(n_entries / total, 1) if total else None,
+        "cache_hit_rates": _cache_rates(ctx),
+    }
+
+
+def run_ablation(
+    phases: int = 48, repeats: int = 3
+) -> dict[str, Any]:
+    """Cached vs uncached compile of the synthetic stencil program."""
+    source = synthetic_program(phases)
+    compile_program(source)  # warm imports/pools before timing
+    cached, _ = _best_of(
+        repeats, lambda: compile_program(source, options=CompilerOptions())
+    )
+    uncached, _ = _best_of(
+        repeats,
+        lambda: compile_program(
+            source, options=CompilerOptions(enable_caches=False)
+        ),
+    )
+    return {
+        "phases": phases,
+        "cached_s": round(cached, 6),
+        "uncached_s": round(uncached, 6),
+        "speedup": round(uncached / cached, 3) if cached else None,
+    }
+
+
+def run_bench(
+    repeats: int = 3, synthetic_phases: int = 48
+) -> dict[str, Any]:
+    """The full measurement: paper benchmarks + synthetic + ablation."""
+    from ..evaluation.programs import BENCHMARKS
+
+    programs: dict[str, Any] = {}
+    for name, source in BENCHMARKS.items():
+        programs[name] = profile_compile(source, repeats=repeats)
+    programs[f"synthetic_{synthetic_phases}"] = profile_compile(
+        synthetic_program(synthetic_phases), repeats=repeats
+    )
+    return {
+        "repeats": repeats,
+        "programs": programs,
+        "ablation": run_ablation(synthetic_phases, repeats=repeats),
+    }
+
+
+def write_bench(
+    path: str = "BENCH_compile.json",
+    repeats: int = 3,
+    synthetic_phases: int = 48,
+) -> dict[str, Any]:
+    """Run the harness and write the JSON report; returns the payload."""
+    payload = run_bench(repeats=repeats, synthetic_phases=synthetic_phases)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload
+
+
+def format_bench(payload: dict[str, Any]) -> str:
+    lines = [
+        f"{'program':16s} {'total':>9s} {'entries':>7s} {'entries/s':>10s} "
+        f"{'sect%':>6s} {'dep%':>6s} {'comb%':>6s} {'subs%':>6s}"
+    ]
+    for name, prog in payload["programs"].items():
+        rates = prog["cache_hit_rates"]
+
+        def pct(cache: str) -> str:
+            info = rates.get(cache)
+            if not info or not (info["hits"] + info["misses"]):
+                return "-"
+            return f"{100 * info['hit_rate']:.0f}"
+
+        lines.append(
+            f"{name:16s} {prog['total_s'] * 1000:7.1f}ms {prog['entries']:7d} "
+            f"{prog['entries_per_s']:10.0f} {pct('section'):>6s} "
+            f"{pct('dependence'):>6s} {pct('combinable'):>6s} "
+            f"{pct('subsumes'):>6s}"
+        )
+    ab = payload["ablation"]
+    lines.append(
+        f"\nablation ({ab['phases']}-phase synthetic): cached "
+        f"{ab['cached_s'] * 1000:.1f}ms, uncached {ab['uncached_s'] * 1000:.1f}ms "
+        f"-> {ab['speedup']:.2f}x"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Cache instrumentation: cheap hit/miss counters with derived rates.
+
+Every memoized verdict cache in the pipeline records its traffic in a
+:class:`CacheStats`, aggregated per :class:`~repro.core.context.AnalysisContext`
+in a :class:`CacheStatsRegistry`.  The perf-regression harness
+(:mod:`repro.perf.bench`) reads these to report hit rates in
+``BENCH_compile.json``; nothing else depends on them, so the counters are
+plain ints (no locks — a context is single-threaded by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache."""
+
+    name: str
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups, 0.0 when the cache was never consulted."""
+        n = self.lookups
+        return self.hits / n if n else 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<cache {self.name}: {self.hits}/{self.lookups} hits "
+            f"({self.hit_rate:.0%})>"
+        )
+
+
+@dataclass
+class CacheStatsRegistry:
+    """All cache counters of one compilation context."""
+
+    stats: dict[str, CacheStats] = field(default_factory=dict)
+
+    def get(self, name: str) -> CacheStats:
+        entry = self.stats.get(name)
+        if entry is None:
+            entry = self.stats[name] = CacheStats(name)
+        return entry
+
+    def as_dict(self) -> dict[str, dict[str, float | int]]:
+        return {name: s.as_dict() for name, s in sorted(self.stats.items())}

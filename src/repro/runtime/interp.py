@@ -195,6 +195,11 @@ class Interpreter:
             self.scalars[stmt.lhs.name] = float(value)
             return
         idx = self._index_tuple(stmt.lhs)
+        if isinstance(value, np.ndarray):
+            # A bare section RHS is a *view* of the target's buffer; an
+            # overlapping store would clobber elements it still has to
+            # read.  Snapshot first (F90 fetch-before-store semantics).
+            value = value.copy()
         self.arrays[stmt.lhs.name][idx] = value
 
     # -- results ------------------------------------------------------------

@@ -22,22 +22,25 @@ the paper's "approximated by a single section descriptor" rule.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DimSection:
     """One dimension of a section: the progression lo, lo+step, ... <= hi.
 
     A descriptor with ``lo > hi`` is empty.  ``step`` is always >= 1; the
     constructor normalizes ``hi`` down to the last actual element so equal
-    element sets compare equal.
+    element sets compare equal.  The hash is computed once at construction
+    (descriptors are compared and set-probed heavily by the redundancy and
+    combining passes).
     """
 
     lo: int
     hi: int
     step: int = 1
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         if self.step < 1:
@@ -52,6 +55,10 @@ class DimSection:
             object.__setattr__(self, "hi", last)
             if last == self.lo:
                 object.__setattr__(self, "step", 1)
+        object.__setattr__(self, "_hash", hash((self.lo, self.hi, self.step)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     # -- basics -------------------------------------------------------------
 
@@ -162,12 +169,19 @@ class DimSection:
 EMPTY_DIM = DimSection(1, 0)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RSD:
     """A multi-dimensional regular section: the Cartesian product of one
     :class:`DimSection` per dimension."""
 
     dims: tuple[DimSection, ...]
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash(self.dims))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @staticmethod
     def of(*dims: DimSection | tuple[int, int] | tuple[int, int, int]) -> "RSD":

@@ -18,13 +18,13 @@ allowed to act as the subsuming side.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..affine import Affine, NonAffineError
 from .rsd import RSD, DimSection
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SymDim:
     """One dimension of a symbolic section: lo, lo+step, ..., hi.
 
@@ -36,6 +36,15 @@ class SymDim:
     hi: Affine
     step: int = 1
     exact: bool = True
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_hash", hash((self.lo, self.hi, self.step, self.exact))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @staticmethod
     def point(form: Affine) -> "SymDim":
@@ -149,12 +158,19 @@ class SymDim:
         return f"{mark}{self.lo}:{self.hi}:{self.step}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SymSection:
     """A symbolic multi-dimensional section of a named array."""
 
     array: str
     dims: tuple[SymDim, ...]
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.array, self.dims)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def rank(self) -> int:

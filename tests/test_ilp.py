@@ -45,7 +45,7 @@ class TestExactSolver:
     def test_cost_prefers_shared_positions(self):
         ctx, entries = analyzed(SRC_COMBINABLE)
         e1, e2 = entries
-        shared = (e1.candidate_set() & e2.candidate_set()).pop()
+        shared = next(iter(e1.candidate_set() & e2.candidate_set()))
         together = placement_cost(
             ctx, {e1.id: shared, e2.id: shared}, entries
         )

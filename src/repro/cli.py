@@ -13,11 +13,13 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .codegen.report import annotated_listing, schedule_report
+from .core.context import CompilerOptions
 from .core.pipeline import Strategy, compile_all_strategies, compile_program
-from .errors import ReproError
+from .errors import Diagnostic, ReproError
 from .machine.model import MACHINES
 from .runtime.checker import check_schedule
 from .runtime.simulator import simulate
@@ -33,12 +35,73 @@ def _parse_params(items: list[str]) -> dict[str, int]:
     return params
 
 
+class _CliExit(Exception):
+    """Internal: unwind to main() with an exit code (message already
+    printed).  Not SystemExit, which tests expect to propagate for
+    usage errors like bad --param values."""
+
+    def __init__(self, code: int) -> None:
+        super().__init__(code)
+        self.code = code
+
+
+def _read_source(path: str) -> str:
+    """Read a source file; a missing file is a one-line diagnostic and
+    exit code 2 (usage-style error), not a traceback."""
+    try:
+        with open(path) as fh:
+            return fh.read()
+    except FileNotFoundError:
+        print(f"error: {path}: no such file", file=sys.stderr)
+        raise _CliExit(2) from None
+    except IsADirectoryError:
+        print(f"error: {path}: is a directory", file=sys.stderr)
+        raise _CliExit(2) from None
+
+
+def _emit_diagnostics(
+    diags: list[Diagnostic], filename: str, as_json: bool
+) -> None:
+    if as_json:
+        print(json.dumps(
+            {"file": filename, "diagnostics": [d.to_dict() for d in diags]},
+            indent=2,
+        ))
+    else:
+        for d in diags:
+            print(d.format(filename), file=sys.stderr)
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
-    source = open(args.file).read()
+    source = _read_source(args.file)
     params = _parse_params(args.param)
     strategies = list(Strategy) if args.all else [Strategy.parse(args.strategy)]
+    options = CompilerOptions(strict=args.strict)
+
+    # Recovery pre-pass: surface every syntax error in one run (up to
+    # --max-errors) instead of stopping at the first.
+    from .frontend.parser import parse_recovering
+
+    _program, errors = parse_recovering(source, max_errors=args.max_errors)
+    if errors:
+        _emit_diagnostics(
+            [e.diagnostic() for e in errors], args.file, args.diagnostics_json
+        )
+        return 1
+
+    diagnostics: list[Diagnostic] = []
     for strategy in strategies:
-        result = compile_program(source, params or None, strategy)
+        try:
+            result = compile_program(source, params or None, strategy, options)
+        except ReproError as exc:
+            diagnostics.append(exc.diagnostic())
+            _emit_diagnostics(diagnostics, args.file, args.diagnostics_json)
+            return 1
+        diagnostics.extend(d.diagnostic() for d in result.degradations)
+        if args.diagnostics_json:
+            continue  # machine output only: suppress the human report
+        for event in result.degradations:
+            print(event.diagnostic().format(args.file), file=sys.stderr)
         print(f"== strategy {strategy.value}: {result.call_sites()} call "
               f"sites {result.call_sites_by_kind()}")
         if args.report:
@@ -50,11 +113,13 @@ def cmd_compile(args: argparse.Namespace) -> int:
             print(f"   schedule verified: {stats.deliveries} deliveries, "
                   f"{stats.reads_checked} reads checked")
         print()
+    if args.diagnostics_json:
+        _emit_diagnostics(diagnostics, args.file, as_json=True)
     return 0
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    source = open(args.file).read()
+    source = _read_source(args.file)
     params = _parse_params(args.param)
     machine = MACHINES[args.machine]
     base = None
@@ -108,8 +173,7 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
-    from .core.context import CompilerOptions
-    from .perf.batch import BatchCompiler, BatchJob, benchmark_jobs
+    from .perf.batch import BatchCompiler, BatchJob, RetryPolicy, benchmark_jobs
 
     options = CompilerOptions(enable_caches=not args.no_caches)
     if args.benchmarks:
@@ -121,7 +185,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         jobs = [
             BatchJob(
                 name=path,
-                source=open(path).read(),
+                source=_read_source(path),
                 params=params or None,
                 strategy=args.strategy,
                 options=options,
@@ -131,7 +195,14 @@ def cmd_batch(args: argparse.Namespace) -> int:
     else:
         raise SystemExit("batch: give source files or --benchmarks")
 
-    compiler = BatchCompiler(workers=args.workers)
+    policy = RetryPolicy(
+        timeout=args.timeout,
+        max_retries=args.retries,
+        quarantine_after=args.quarantine_after,
+    )
+    compiler = BatchCompiler(
+        workers=args.workers, policy=policy, checkpoint_path=args.checkpoint
+    )
     for round_no in range(args.repeat):
         results = compiler.run(jobs)
         if round_no == 0 or args.repeat > 1:
@@ -146,10 +217,16 @@ def cmd_batch(args: argparse.Namespace) -> int:
                         f"{r.call_sites_by_kind}"
                     )
     s = compiler.stats
+    extras = ""
+    if s.timeouts or s.retries or s.quarantined or s.resumed:
+        extras = (
+            f", {s.timeouts} timeouts, {s.retries} retries, "
+            f"{s.quarantined} quarantined, {s.resumed} resumed"
+        )
     print(
         f"== {s.jobs} jobs: {s.compiled} compiled, {s.cache_hits} cache hits, "
         f"{s.deduped} deduped, {s.errors} errors in {s.elapsed:.3f}s "
-        f"(hit rate {s.hit_rate:.0%})"
+        f"(hit rate {s.hit_rate:.0%}){extras}"
     )
     return 1 if s.errors else 0
 
@@ -161,9 +238,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         path=args.output,
         repeats=args.repeats,
         synthetic_phases=args.phases,
+        self_check=args.self_check,
     )
     print(format_bench(payload))
     print(f"\nwrote {args.output}")
+    if args.self_check and not payload["self_check"]["ok"]:
+        return 1
     return 0
 
 
@@ -188,6 +268,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the annotated scalarized program")
     p.add_argument("--check", action="store_true",
                    help="verify the schedule by concrete execution")
+    p.add_argument("--strict", action="store_true",
+                   help="disable fault boundaries: a failing optimization "
+                        "pass aborts instead of degrading to Latest")
+    p.add_argument("--max-errors", type=int, default=10, metavar="N",
+                   help="stop after N syntax errors (default 10)")
+    p.add_argument("--diagnostics-json", action="store_true",
+                   help="emit diagnostics (errors and degradation "
+                        "warnings) as JSON on stdout")
     p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser("simulate", help="simulate all three versions")
@@ -227,6 +315,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the batch N times (demonstrates result caching)")
     p.add_argument("--no-caches", action="store_true",
                    help="disable the per-compile analysis caches")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-job wall-clock timeout (forces pooled "
+                        "execution; default none)")
+    p.add_argument("--retries", type=int, default=2, metavar="N",
+                   help="retries per failing job after a timeout or "
+                        "worker crash (default 2)")
+    p.add_argument("--quarantine-after", type=int, default=3, metavar="N",
+                   help="failed attempts before an input is quarantined "
+                        "(default 3)")
+    p.add_argument("--checkpoint", default=None, metavar="FILE",
+                   help="persist results to FILE as they land; a killed "
+                        "run restarted with the same FILE resumes there")
     p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser(
@@ -237,6 +337,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="best-of-N timing repeats (default 3)")
     p.add_argument("--phases", type=int, default=48,
                    help="synthetic stencil size for the ablation (default 48)")
+    p.add_argument("--self-check", action="store_true",
+                   help="run the dynamic schedule checker on every "
+                        "compiled output (degrades, never aborts)")
     p.set_defaults(func=cmd_bench)
     return parser
 
@@ -245,12 +348,15 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except _CliExit as exc:
+        return exc.code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except FileNotFoundError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+        # Safety net for paths opened outside _read_source.
+        print(f"error: {exc.filename or exc}: no such file", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

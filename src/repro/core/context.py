@@ -54,6 +54,15 @@ class CompilerOptions:
     # can assert that cached and uncached pipelines produce byte-identical
     # schedules; leave True outside of that ablation.
     enable_caches: bool = True
+    # Fault boundaries: by default a failing optimization pass degrades to
+    # the sound LATEST placement (per-entry where possible) and records a
+    # DegradationEvent; strict=True re-raises instead, for tests and
+    # debugging (see repro.core.faults).
+    strict: bool = False
+    # Final combining pass: 'greedy' is the paper's §4.7 heuristic; 'ilp'
+    # uses the exact §6.1 branch-and-bound where tractable, degrading to
+    # greedy when the search space is exceeded.
+    placement_search: str = "greedy"  # 'greedy' | 'ilp'
 
 
 class AnalysisContext:

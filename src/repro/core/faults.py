@@ -1,0 +1,88 @@
+"""Fault boundaries for the placement pipeline (degraded-mode compilation).
+
+The paper's structure contains a built-in safety net: ``Latest(u)`` —
+classic message-vectorized placement (§4.2) — is a sound position for
+every communication entry, so each later pass (Earliest, candidate
+marking, subset elimination, redundancy elimination, greedy/ILP
+combining) is an *optional refinement*.  When a pass raises, the pipeline
+abandons that refinement — per-entry where the pass works entry-at-a-time,
+whole-pass otherwise — and continues from a state that is still correct,
+merely less optimized.
+
+Every such fallback is recorded as a :class:`DegradationEvent` on the
+:class:`~repro.core.pipeline.CompilationResult`, rendered as a ``W0601``
+warning diagnostic.  ``CompilerOptions(strict=True)`` disables the
+boundaries entirely (faults re-raise), which is what the chaos tests use
+to prove an injected fault is actually reaching the pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..comm.entries import CommEntry
+from ..errors import DEGRADED_CODE, Diagnostic
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One recorded fallback: which pass failed, for what, and what the
+    pipeline did instead.
+
+    ``entry_id``/``entry_label`` are ``None`` for whole-pass fallbacks
+    (subset, redundancy, and the final combining pass degrade as a unit;
+    the per-entry analyses degrade one entry at a time).
+    """
+
+    pass_name: str
+    fallback: str
+    error: str
+    error_type: str
+    entry_id: Optional[int] = None
+    entry_label: Optional[str] = None
+
+    @classmethod
+    def from_exception(
+        cls,
+        pass_name: str,
+        exc: BaseException,
+        fallback: str,
+        entry: CommEntry | None = None,
+    ) -> "DegradationEvent":
+        return cls(
+            pass_name=pass_name,
+            fallback=fallback,
+            error=str(exc) or repr(exc),
+            error_type=type(exc).__name__,
+            entry_id=entry.id if entry is not None else None,
+            entry_label=entry.label if entry is not None else None,
+        )
+
+    @property
+    def scope(self) -> str:
+        if self.entry_id is None:
+            return "whole pass"
+        return f"entry {self.entry_label or self.entry_id}"
+
+    def diagnostic(self) -> Diagnostic:
+        return Diagnostic(
+            code=DEGRADED_CODE,
+            severity="warning",
+            message=(
+                f"pass {self.pass_name!r} degraded ({self.scope}): "
+                f"{self.error_type}: {self.error}; fallback: {self.fallback}"
+            ),
+            phase="placement",
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "pass": self.pass_name,
+            "scope": self.scope,
+            "entry_id": self.entry_id,
+            "entry_label": self.entry_label,
+            "error_type": self.error_type,
+            "error": self.error,
+            "fallback": self.fallback,
+        }

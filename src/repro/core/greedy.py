@@ -111,7 +111,17 @@ def greedy_choose(ctx: AnalysisContext, state: PlacementState) -> list[PlacedCom
     for entry in alive:
         (pos,) = state.stmt_set(entry)
         by_pos.setdefault(pos, []).append(entry)
+    return finalize_groups(ctx, state, by_pos)
 
+
+def finalize_groups(
+    ctx: AnalysisContext,
+    state: PlacementState,
+    by_pos: dict[Position, list[CommEntry]],
+) -> list[PlacedComm]:
+    """Shared tail of the combining pass: partition each position's pinned
+    entries into compatible groups and push every group late (the paper's
+    final placement rule), honoring absorbed-entry coverage constraints."""
     placed: list[PlacedComm] = []
     for pos in sorted(by_pos):
         groups = _partition_groups(ctx, by_pos[pos], pos)
@@ -120,6 +130,27 @@ def greedy_choose(ctx: AnalysisContext, state: PlacementState) -> list[PlacedCom
             placed.append(PlacedComm(final_pos, group))
     placed.sort(key=lambda pc: pc.position)
     return placed
+
+
+def ilp_choose(ctx: AnalysisContext, state: PlacementState) -> list[PlacedComm]:
+    """Exact combining (§6.1): branch-and-bound assignment, then the same
+    group partitioning and push-late finalization as the greedy pass.
+
+    Raises :class:`PlacementError` when the candidate-chain product exceeds
+    the search limit — the pipeline's fault boundary then degrades to
+    :func:`greedy_choose`.  Does not mutate ``state``, so that fallback
+    runs on untouched working sets.
+    """
+    from .ilp import optimal_placement  # local: ilp imports from greedy
+
+    alive = [e for e in state.alive_entries() if state.stmt_set(e)]
+    if not alive:
+        return []
+    assignment, _cost = optimal_placement(ctx, alive)
+    by_pos: dict[Position, list[CommEntry]] = {}
+    for entry in alive:
+        by_pos.setdefault(assignment[entry.id], []).append(entry)
+    return finalize_groups(ctx, state, by_pos)
 
 
 def _partition_groups(

@@ -15,6 +15,12 @@
 :func:`compile_program` runs parse → elaborate → scalarize → CFG/SSA →
 classify → place and returns a :class:`CompilationResult` with the
 schedule, counts, and everything needed by the simulator and reports.
+
+Every optimization pass runs inside a **fault boundary** (see
+:mod:`repro.core.faults`): because ``Latest(u)`` is always a sound
+placement, a pass that raises degrades — per-entry for the analyses,
+whole-pass for the set-shrinking passes — instead of failing the compile.
+``CompilerOptions(strict=True)`` turns the boundaries off.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import enum
 from dataclasses import dataclass, field
 
 from ..comm.entries import CommEntry
+from ..errors import InternalCompilerError, ReproError
 from ..frontend import ast_nodes as ast
 from ..frontend.analysis import ProgramInfo, elaborate
 from ..frontend.parser import parse
@@ -31,7 +38,8 @@ from ..ir.cfg import Position
 from .candidates import mark_candidates, verify_candidates
 from .context import AnalysisContext, CompilerOptions
 from .earliest import compute_earliest
-from .greedy import greedy_choose
+from .faults import DegradationEvent
+from .greedy import greedy_choose, ilp_choose
 from .latest import compute_latest
 from .redundancy import redundancy_eliminate, subsumes_at
 from .state import PlacedComm, PlacementState
@@ -68,13 +76,22 @@ class Strategy(enum.Enum):
 
 @dataclass
 class CompilationResult:
-    """Everything produced by one compile: analyses, entries, schedule."""
+    """Everything produced by one compile: analyses, entries, schedule.
+
+    ``degradations`` lists every fault-boundary fallback taken during this
+    compile (empty for a clean run); the schedule is sound either way.
+    """
 
     ctx: AnalysisContext
     strategy: Strategy
     entries: list[CommEntry]
     placed: list[PlacedComm]
     stats: dict[str, int] = field(default_factory=dict)
+    degradations: list[DegradationEvent] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degradations)
 
     @property
     def info(self) -> ProgramInfo:
@@ -99,39 +116,165 @@ class CompilationResult:
         return [e for e in self.entries if not e.alive]
 
 
-def analyze_entries(ctx: AnalysisContext) -> list[CommEntry]:
-    """Discover entries and compute Latest/Earliest/candidates for each."""
+def analyze_entries(
+    ctx: AnalysisContext,
+    faults: list[DegradationEvent] | None = None,
+) -> list[CommEntry]:
+    """Discover entries and compute Latest/Earliest/candidates for each.
+
+    Each per-entry analysis runs inside a fault boundary: a failing
+    ``compute_latest`` pins the entry immediately before its use (the most
+    conservative sound point); a failing ``compute_earliest`` or candidate
+    marking collapses the entry's flexibility to Latest alone.  Events go
+    into ``faults``; ``strict`` options re-raise.
+    """
+    strict = ctx.options.strict
+    if faults is None:
+        faults = []
     entries = ctx.collect_entries()
     for entry in entries:
-        compute_latest(ctx, entry)
-        compute_earliest(ctx, entry)
-        mark_candidates(ctx, entry)
-        verify_candidates(ctx, entry)
+        try:
+            compute_latest(ctx, entry)
+        except Exception as exc:
+            if strict:
+                raise
+            entry.comm_level = entry.use.node.nl
+            entry.latest_pos = ctx.cfg.position_before(entry.use.stmt)
+            faults.append(DegradationEvent.from_exception(
+                "latest", exc, "pinned immediately before the use", entry
+            ))
+        try:
+            compute_earliest(ctx, entry)
+        except Exception as exc:
+            if strict:
+                raise
+            entry.earliest_pos = entry.latest_pos
+            faults.append(DegradationEvent.from_exception(
+                "earliest", exc, "no hoisting (Earliest := Latest)", entry
+            ))
+        try:
+            mark_candidates(ctx, entry)
+            verify_candidates(ctx, entry)
+        except Exception as exc:
+            if strict:
+                raise
+            assert entry.latest_pos is not None
+            entry.earliest_pos = entry.latest_pos
+            entry.candidates = [entry.latest_pos]
+            entry._candidate_set = None
+            faults.append(DegradationEvent.from_exception(
+                "candidates", exc, "single-position chain at Latest", entry
+            ))
     return entries
 
 
-def place(ctx: AnalysisContext, entries: list[CommEntry],
-          strategy: Strategy) -> tuple[list[PlacedComm], dict[str, int]]:
-    """Run one placement strategy over analyzed entries."""
+def _reset_eliminations(entries: list[CommEntry]) -> None:
+    """Undo every redundancy-elimination mark so all entries are alive
+    again (the precondition for the latest-placement fallback)."""
+    for entry in entries:
+        entry.eliminated_by = None
+        entry.absorbed = []
+
+
+def _latest_placement(entries: list[CommEntry]) -> list[PlacedComm]:
+    """The always-sound schedule: every entry, alone, at its Latest point
+    (identical to ``Strategy.ORIG``)."""
+    placed = [PlacedComm(e.latest_pos, [e]) for e in entries if e.latest_pos]
+    placed.sort(key=lambda pc: pc.position)
+    return placed
+
+
+def place(
+    ctx: AnalysisContext,
+    entries: list[CommEntry],
+    strategy: Strategy,
+    faults: list[DegradationEvent] | None = None,
+) -> tuple[list[PlacedComm], dict[str, int]]:
+    """Run one placement strategy over analyzed entries.
+
+    The set-shrinking passes (subset, redundancy) and the final combining
+    pass degrade whole-pass: a snapshot of the :class:`PlacementState` is
+    taken before each mutation so a midway failure rolls back cleanly, and
+    a failing combining pass abandons all eliminations and emits the
+    latest-placement schedule.
+    """
+    strict = ctx.options.strict
+    if faults is None:
+        faults = []
     stats: dict[str, int] = {"entries": len(entries)}
 
     if strategy is Strategy.ORIG:
-        placed = [
-            PlacedComm(e.latest_pos, [e]) for e in entries if e.latest_pos
-        ]
-        placed.sort(key=lambda pc: pc.position)
-        return placed, stats
+        return _latest_placement(entries), stats
 
     if strategy is Strategy.EARLIEST:
-        placed = _place_earliest(ctx, entries, stats)
+        try:
+            placed = _place_earliest(ctx, entries, stats)
+        except Exception as exc:
+            if strict:
+                raise
+            _reset_eliminations(entries)
+            placed = _latest_placement(entries)
+            stats["redundant"] = 0
+            faults.append(DegradationEvent.from_exception(
+                "earliest-placement", exc, "every entry at its Latest point"
+            ))
         return placed, stats
 
     state = PlacementState(ctx, entries)
     if ctx.options.enable_subset_elimination:
-        stats["subset_emptied"] = subset_eliminate(ctx, state)
+        snapshot = state.clone()
+        try:
+            stats["subset_emptied"] = subset_eliminate(ctx, state)
+        except Exception as exc:
+            if strict:
+                raise
+            state = snapshot  # discard partial deactivations
+            stats["subset_emptied"] = 0
+            faults.append(DegradationEvent.from_exception(
+                "subset", exc, "pass skipped (all candidates kept)"
+            ))
     if ctx.options.enable_redundancy_elimination:
-        stats["redundant"] = redundancy_eliminate(ctx, state)
-    placed = greedy_choose(ctx, state)
+        snapshot = state.clone()
+        try:
+            stats["redundant"] = redundancy_eliminate(ctx, state)
+        except Exception as exc:
+            if strict:
+                raise
+            # The pass mutates entries (eliminated_by/absorbed) as well as
+            # the state; roll both back.
+            _reset_eliminations(entries)
+            state = snapshot
+            stats["redundant"] = 0
+            faults.append(DegradationEvent.from_exception(
+                "redundancy", exc, "pass rolled back (no eliminations)"
+            ))
+    try:
+        if ctx.options.placement_search == "ilp":
+            try:
+                placed = ilp_choose(ctx, state)
+            except Exception as exc:
+                if strict:
+                    raise
+                faults.append(DegradationEvent.from_exception(
+                    "ilp", exc, "greedy combining (§4.7 heuristic)"
+                ))
+                placed = greedy_choose(ctx, state)
+        else:
+            placed = greedy_choose(ctx, state)
+    except Exception as exc:
+        if strict:
+            raise
+        # Combining failed: abandon every refinement.  Eliminated entries
+        # must come back alive — their elimination is only sound if the
+        # final group placement honors the coverage constraints, which the
+        # fallback does not consult.
+        _reset_eliminations(entries)
+        if "redundant" in stats:
+            stats["redundant"] = 0
+        placed = _latest_placement(entries)
+        faults.append(DegradationEvent.from_exception(
+            "greedy", exc, "every entry at its Latest point"
+        ))
     stats["groups"] = len(placed)
     return placed, stats
 
@@ -192,17 +335,35 @@ def compile_program(
     options: CompilerOptions | None = None,
 ) -> CompilationResult:
     """Front door: compile mini-HPF source (or a parsed program) and place
-    its communication with the chosen strategy."""
-    program = parse(source) if isinstance(source, str) else source
-    info = elaborate(program, params)
-    scalarized = scalarize(program, info)
-    info = elaborate(scalarized, params)
+    its communication with the chosen strategy.
 
-    ctx = AnalysisContext(info, options)
-    entries = analyze_entries(ctx)
-    strat = Strategy.parse(strategy)
-    placed, stats = place(ctx, entries, strat)
-    return CompilationResult(ctx, strat, entries, placed, stats)
+    Crash-free frontier: any failure surfaces as a :class:`ReproError`
+    subclass — an unexpected exception (a compiler bug) is wrapped in
+    :class:`InternalCompilerError` rather than escaping raw.  With
+    ``options.strict`` the raw exception propagates unwrapped, so tests
+    can assert on the original type.
+    """
+    strat = Strategy.parse(strategy)  # bad strategy names raise ValueError
+    opts = options or CompilerOptions()
+    faults: list[DegradationEvent] = []
+    try:
+        program = parse(source) if isinstance(source, str) else source
+        info = elaborate(program, params)
+        scalarized = scalarize(program, info)
+        info = elaborate(scalarized, params)
+
+        ctx = AnalysisContext(info, opts)
+        entries = analyze_entries(ctx, faults)
+        placed, stats = place(ctx, entries, strat, faults)
+    except ReproError:
+        raise
+    except Exception as exc:
+        if opts.strict:
+            raise
+        raise InternalCompilerError(
+            f"unexpected {type(exc).__name__} during compilation: {exc}"
+        ) from exc
+    return CompilationResult(ctx, strat, entries, placed, stats, faults)
 
 
 def compile_all_strategies(

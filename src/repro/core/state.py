@@ -59,6 +59,25 @@ class PlacementState:
         # subsumption of B holds.
         self.absorb_constraints: dict[int, list[set[Position]]] = {}
 
+    def clone(self) -> "PlacementState":
+        """Snapshot of the mutable working sets (entries are shared).
+
+        The fault boundaries in :mod:`repro.core.pipeline` take a snapshot
+        before each whole-pass mutation so a pass that raises midway can be
+        rolled back instead of leaving half-applied deactivations behind.
+        """
+        new = object.__new__(PlacementState)
+        new.ctx = self.ctx
+        new.entries = self.entries
+        new.by_id = self.by_id
+        new.active = {eid: set(ps) for eid, ps in self.active.items()}
+        new._at = {p: set(ids) for p, ids in self._at.items()}
+        new.absorb_constraints = {
+            eid: [set(c) for c in cs]
+            for eid, cs in self.absorb_constraints.items()
+        }
+        return new
+
     # -- CommSet views -------------------------------------------------------
 
     def comm_set(self, pos: Position) -> set[int]:

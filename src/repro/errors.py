@@ -1,17 +1,41 @@
-"""Exception hierarchy for the repro compiler.
+"""Exception hierarchy and structured diagnostics for the repro compiler.
 
 Every error raised by the library derives from :class:`ReproError`, so a
 downstream user can catch a single exception type at an API boundary.  The
 subclasses mirror the phases of the compiler: lexing/parsing, semantic
 analysis, scalarization, dependence analysis, communication placement, code
 generation, and runtime simulation.
+
+Every error class carries a stable machine-readable **error code** (the
+``code`` class attribute, ``E01xx``-``E09xx`` by phase) and a
+:class:`Severity`.  :meth:`ReproError.diagnostic` renders any error as a
+:class:`Diagnostic` — the unit the CLI prints one-per-line or serializes
+with ``--diagnostics-json``.  Degradation warnings from the fault-tolerant
+pipeline (see :mod:`repro.core.faults`) use the ``W06xx`` code space and
+the same :class:`Diagnostic` shape, so one consumer handles both.
+
+The full code table lives in :data:`ERROR_CODES` and is documented in
+``docs/ROBUSTNESS.md``.
 """
 
 from __future__ import annotations
 
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional
 
-class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is.
+
+    ``ERROR`` aborts the requested operation; ``WARNING`` reports a
+    degradation or suspicious construct that did not stop compilation;
+    ``NOTE`` attaches context to another diagnostic.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
 
 
 class SourceLocation:
@@ -42,35 +66,114 @@ class SourceLocation:
         return hash((self.line, self.column))
 
 
+@dataclass(frozen=True)
+class Diagnostic:
+    """One machine-consumable diagnostic: code, severity, message, place.
+
+    ``line``/``column`` are ``None`` when the error has no source position
+    (placement invariants, runtime oracle failures, internal errors).
+    """
+
+    code: str
+    severity: str
+    message: str
+    phase: str = "general"
+    line: Optional[int] = None
+    column: Optional[int] = None
+
+    def format(self, filename: str | None = None) -> str:
+        """GCC-style one-liner: ``file:line:col: severity[CODE]: message``."""
+        where = filename or "<input>"
+        if self.line is not None:
+            where += f":{self.line}:{self.column}"
+        return f"{where}: {self.severity}[{self.code}]: {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "phase": self.phase,
+            "message": self.message,
+            "line": self.line,
+            "column": self.column,
+        }
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library.
+
+    Subclasses set ``code`` (stable, machine-readable) and ``phase``; they
+    may carry a :class:`SourceLocation` in ``self.location`` and keep the
+    unprefixed message in ``self.raw_message`` so :meth:`diagnostic` does
+    not repeat location text already baked into ``str(self)``.
+    """
+
+    code = "E0000"
+    phase = "general"
+    severity = Severity.ERROR
+
+    def __init__(
+        self, message: str = "", location: SourceLocation | None = None
+    ) -> None:
+        super().__init__(message)
+        self.location = location
+        self.raw_message = message
+
+    def diagnostic(self) -> Diagnostic:
+        return Diagnostic(
+            code=self.code,
+            severity=self.severity.value,
+            message=self.raw_message or str(self),
+            phase=self.phase,
+            line=self.location.line if self.location else None,
+            column=self.location.column if self.location else None,
+        )
+
+
 class LexError(ReproError):
     """Raised when the lexer encounters an unrecognized character."""
 
+    code = "E0100"
+    phase = "lex"
+
     def __init__(self, message: str, location: SourceLocation) -> None:
-        super().__init__(f"lex error at {location}: {message}")
-        self.location = location
+        super().__init__(f"lex error at {location}: {message}", location)
+        self.raw_message = message
 
 
 class ParseError(ReproError):
     """Raised when the parser encounters an unexpected token."""
 
+    code = "E0200"
+    phase = "parse"
+
     def __init__(self, message: str, location: SourceLocation | None = None) -> None:
         where = f" at {location}" if location is not None else ""
-        super().__init__(f"parse error{where}: {message}")
-        self.location = location
+        super().__init__(f"parse error{where}: {message}", location)
+        self.raw_message = message
 
 
 class SemanticError(ReproError):
     """Raised for semantic violations: undeclared names, rank mismatches,
     inconsistent distributions, and the like."""
 
+    code = "E0300"
+    phase = "semantic"
+
 
 class ScalarizationError(ReproError):
     """Raised when an F90 array statement cannot be scalarized (e.g. the
     section extents of the two sides do not conform)."""
 
+    code = "E0400"
+    phase = "scalarize"
+
 
 class DependenceError(ReproError):
     """Raised when dependence analysis is asked about malformed references."""
+
+    code = "E0500"
+    phase = "dependence"
 
 
 class PlacementError(ReproError):
@@ -81,12 +184,54 @@ class PlacementError(ReproError):
     which claim of the paper was violated.
     """
 
+    code = "E0600"
+    phase = "placement"
+
 
 class CodegenError(ReproError):
     """Raised when SPMD code generation cannot emit a schedule."""
+
+    code = "E0700"
+    phase = "codegen"
 
 
 class SimulationError(ReproError):
     """Raised by the runtime simulator, e.g. when an executed schedule reads
     remote data that no prior communication delivered (a placement-safety
     violation)."""
+
+    code = "E0800"
+    phase = "runtime"
+
+
+class InternalCompilerError(ReproError):
+    """An unexpected non-:class:`ReproError` exception escaped a compiler
+    phase.  :func:`repro.core.pipeline.compile_program` converts such
+    crashes into this class (chaining the original) so the library's
+    crash-free frontier — *every* failure surfaces as a ReproError —
+    holds even for compiler bugs."""
+
+    code = "E0900"
+    phase = "internal"
+
+
+#: Degradation-warning code used by the fault-tolerant pipeline (the
+#: ``DegradationEvent`` records in ``CompilationResult.degradations``).
+DEGRADED_CODE = "W0601"
+
+#: Stable code → exception class table (the CLI and docs consume this).
+ERROR_CODES: dict[str, type[ReproError]] = {
+    cls.code: cls
+    for cls in (
+        ReproError,
+        LexError,
+        ParseError,
+        SemanticError,
+        ScalarizationError,
+        DependenceError,
+        PlacementError,
+        CodegenError,
+        SimulationError,
+        InternalCompilerError,
+    )
+}

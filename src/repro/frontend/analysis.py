@@ -23,7 +23,7 @@ from ..distribution.layout import (
     ProcessorGrid,
     replicated_layout,
 )
-from ..errors import SemanticError
+from ..errors import SemanticError, SourceLocation
 from . import ast_nodes as ast
 
 
@@ -129,7 +129,9 @@ def elaborate(
     for decl in program.decls:
         if isinstance(decl, ast.ParamDecl):
             if decl.name in params:
-                raise SemanticError(f"duplicate PARAM {decl.name!r}")
+                raise SemanticError(
+                    f"duplicate PARAM {decl.name!r}", location=decl.loc
+                )
             params[decl.name] = decl.value
     if param_overrides:
         for name, value in param_overrides.items():
@@ -137,13 +139,15 @@ def elaborate(
                 raise SemanticError(f"override for undeclared PARAM {name!r}")
             params[name] = int(value)
 
-    def const(expr: ast.Expr, what: str) -> int:
+    def const(expr: ast.Expr, what: str, loc: SourceLocation | None = None) -> int:
         try:
             form = to_affine(expr, params)
         except NonAffineError as exc:
-            raise SemanticError(f"{what}: {exc}") from None
+            raise SemanticError(f"{what}: {exc}", location=loc) from None
         if not form.is_constant:
-            raise SemanticError(f"{what} must be compile-time constant, got {expr}")
+            raise SemanticError(
+                f"{what} must be compile-time constant, got {expr}", location=loc
+            )
         return form.const
 
     grids: dict[str, ProcessorGrid] = {}
@@ -151,32 +155,42 @@ def elaborate(
     array_decls: dict[str, ast.ArrayDecl] = {}
     scalars: dict[str, ast.ScalarDecl] = {}
     distributes: dict[str, ast.DistributeDecl] = {}
-    aligns: dict[str, str] = {}
+    aligns: dict[str, ast.AlignDecl] = {}
 
     for decl in program.decls:
         if isinstance(decl, ast.ProcessorsDecl):
-            shape = tuple(const(e, f"PROCESSORS {decl.name}") for e in decl.shape)
+            shape = tuple(
+                const(e, f"PROCESSORS {decl.name}", decl.loc) for e in decl.shape
+            )
             grids[decl.name] = ProcessorGrid(decl.name, shape)
         elif isinstance(decl, ast.TemplateDecl):
             template_shapes[decl.name] = tuple(
-                const(e, f"TEMPLATE {decl.name}") for e in decl.shape
+                const(e, f"TEMPLATE {decl.name}", decl.loc) for e in decl.shape
             )
         elif isinstance(decl, ast.ArrayDecl):
             if decl.name in array_decls or decl.name in scalars:
-                raise SemanticError(f"duplicate declaration of {decl.name!r}")
+                raise SemanticError(
+                    f"duplicate declaration of {decl.name!r}", location=decl.loc
+                )
             array_decls[decl.name] = decl
         elif isinstance(decl, ast.ScalarDecl):
             if decl.name in array_decls or decl.name in scalars:
-                raise SemanticError(f"duplicate declaration of {decl.name!r}")
+                raise SemanticError(
+                    f"duplicate declaration of {decl.name!r}", location=decl.loc
+                )
             scalars[decl.name] = decl
         elif isinstance(decl, ast.DistributeDecl):
             if decl.target in distributes:
-                raise SemanticError(f"duplicate DISTRIBUTE for {decl.target!r}")
+                raise SemanticError(
+                    f"duplicate DISTRIBUTE for {decl.target!r}", location=decl.loc
+                )
             distributes[decl.target] = decl
         elif isinstance(decl, ast.AlignDecl):
             if decl.array in aligns:
-                raise SemanticError(f"duplicate ALIGN for {decl.array!r}")
-            aligns[decl.array] = decl.target
+                raise SemanticError(
+                    f"duplicate ALIGN for {decl.array!r}", location=decl.loc
+                )
+            aligns[decl.array] = decl
 
     if not grids:
         # A sequential program: synthesize the 1-processor grid so layouts
@@ -190,11 +204,15 @@ def elaborate(
         if len(dist.formats) != len(shape):
             raise SemanticError(
                 f"DISTRIBUTE {dist.target!r}: {len(dist.formats)} formats for "
-                f"rank-{len(shape)} object"
+                f"rank-{len(shape)} object",
+                location=dist.loc,
             )
         grid = grids.get(dist.onto)
         if grid is None:
-            raise SemanticError(f"DISTRIBUTE {dist.target!r} ONTO undeclared grid {dist.onto!r}")
+            raise SemanticError(
+                f"DISTRIBUTE {dist.target!r} ONTO undeclared grid {dist.onto!r}",
+                location=dist.loc,
+            )
         dims: list[DimMapping] = []
         axis = 0
         for fmt, extent in zip(dist.formats, shape):
@@ -204,14 +222,16 @@ def elaborate(
                 if axis >= len(grid.shape):
                     raise SemanticError(
                         f"DISTRIBUTE {dist.target!r}: more distributed dims than "
-                        f"grid {grid.name!r} has axes"
+                        f"grid {grid.name!r} has axes",
+                        location=dist.loc,
                     )
                 dims.append(DimMapping(DistFormat(fmt), extent, grid_axis=axis))
                 axis += 1
         if axis != len(grid.shape):
             raise SemanticError(
                 f"DISTRIBUTE {dist.target!r}: {axis} distributed dims do not fill "
-                f"grid {grid.name!r} of rank {len(grid.shape)}"
+                f"grid {grid.name!r} of rank {len(grid.shape)}",
+                location=dist.loc,
             )
         return tuple(dims)
 
@@ -228,25 +248,31 @@ def elaborate(
 
     layouts: dict[str, Layout] = {}
     for name, decl in array_decls.items():
-        shape = tuple(const(e, f"array {name}") for e in decl.dims)
+        shape = tuple(const(e, f"array {name}", decl.loc) for e in decl.dims)
         if name in distributes and name in aligns:
-            raise SemanticError(f"array {name!r} has both DISTRIBUTE and ALIGN")
+            raise SemanticError(
+                f"array {name!r} has both DISTRIBUTE and ALIGN",
+                location=decl.loc,
+            )
         if name in distributes:
             dist = distributes[name]
             dims = build_dims(shape, dist)  # validates the grid name too
             layouts[name] = Layout(name, grids[dist.onto], dims, decl.elem_bytes)
         elif name in aligns:
-            target = aligns[name]
+            align = aligns[name]
+            target = align.target
             target_layout = template_layouts.get(target) or layouts.get(target)
             if target_layout is None:
                 raise SemanticError(
                     f"ALIGN {name!r} WITH {target!r}: unknown template/array "
-                    f"(templates and align targets must be declared first)"
+                    f"(templates and align targets must be declared first)",
+                    location=align.loc,
                 )
             if target_layout.shape != shape:
                 raise SemanticError(
                     f"ALIGN {name!r} WITH {target!r}: shape {shape} does not "
-                    f"match target shape {target_layout.shape}"
+                    f"match target shape {target_layout.shape}",
+                    location=align.loc,
                 )
             layouts[name] = Layout(name, target_layout.grid, target_layout.dims,
                                    decl.elem_bytes)
@@ -254,12 +280,17 @@ def elaborate(
             layouts[name] = replicated_layout(name, shape, default_grid,
                                               decl.elem_bytes)
 
-    for target in distributes:
+    for target, dist in distributes.items():
         if target not in template_shapes and target not in array_decls:
-            raise SemanticError(f"DISTRIBUTE names undeclared object {target!r}")
-    for array in aligns:
+            raise SemanticError(
+                f"DISTRIBUTE names undeclared object {target!r}",
+                location=dist.loc,
+            )
+    for array, align in aligns.items():
         if array not in array_decls:
-            raise SemanticError(f"ALIGN names undeclared array {array!r}")
+            raise SemanticError(
+                f"ALIGN names undeclared array {array!r}", location=align.loc
+            )
 
     info = ProgramInfo(
         program=program,
@@ -278,7 +309,12 @@ def _check_body(program: ast.Program, info: ProgramInfo) -> None:
     """Validate every statement: names declared, ranks consistent, loop
     variables scoped."""
 
-    def check_expr(expr: ast.Expr, loop_vars: set[str], where: str) -> None:
+    def check_expr(
+        expr: ast.Expr,
+        loop_vars: set[str],
+        where: str,
+        loc: SourceLocation | None,
+    ) -> None:
         for node in ast.walk_expr(expr):
             if isinstance(node, ast.VarRef):
                 name = node.name
@@ -290,56 +326,69 @@ def _check_body(program: ast.Program, info: ProgramInfo) -> None:
                 if not known:
                     if name in info.layouts:
                         raise SemanticError(
-                            f"{where}: array {name!r} used without subscripts"
+                            f"{where}: array {name!r} used without subscripts",
+                            location=loc,
                         )
-                    raise SemanticError(f"{where}: undeclared variable {name!r}")
+                    raise SemanticError(
+                        f"{where}: undeclared variable {name!r}", location=loc
+                    )
             elif isinstance(node, ast.ArrayRef):
                 if node.name not in info.layouts:
                     raise SemanticError(
-                        f"{where}: undeclared array (or unknown function) {node.name!r}"
+                        f"{where}: undeclared array (or unknown function) "
+                        f"{node.name!r}",
+                        location=loc,
                     )
                 rank = info.layout(node.name).rank
                 if len(node.subscripts) != rank:
                     raise SemanticError(
                         f"{where}: {node.name!r} has rank {rank}, "
-                        f"subscripted with {len(node.subscripts)} subscripts"
+                        f"subscripted with {len(node.subscripts)} subscripts",
+                        location=loc,
                     )
 
-    def check_replicated_control(expr: ast.Expr, where: str, what: str) -> None:
+    def check_replicated_control(
+        expr: ast.Expr, where: str, what: str, loc: SourceLocation | None
+    ) -> None:
         """Control expressions are evaluated redundantly on every
         processor, so they must not read distributed data."""
         for node in ast.walk_expr(expr):
             if isinstance(node, ast.ArrayRef) and info.is_distributed(node.name):
                 raise SemanticError(
                     f"{where}: {what} reads distributed array {node.name!r}; "
-                    f"copy the value into a replicated scalar first"
+                    f"copy the value into a replicated scalar first",
+                    location=loc,
                 )
 
     def check_stmts(body: list[ast.Stmt], loop_vars: set[str]) -> None:
         for stmt in body:
             where = f"statement {stmt.sid} ({stmt.loc})"
+            loc = stmt.loc
             if isinstance(stmt, ast.Assign):
                 if isinstance(stmt.lhs, ast.VarRef):
                     if stmt.lhs.name not in info.scalars:
                         raise SemanticError(
                             f"{where}: assignment to undeclared scalar "
-                            f"{stmt.lhs.name!r}"
+                            f"{stmt.lhs.name!r}",
+                            location=loc,
                         )
                 else:
-                    check_expr(stmt.lhs, loop_vars, where)
-                check_expr(stmt.rhs, loop_vars, where)
+                    check_expr(stmt.lhs, loop_vars, where, loc)
+                check_expr(stmt.rhs, loop_vars, where, loc)
             elif isinstance(stmt, ast.Do):
                 if stmt.var in info.scalars or stmt.var in info.params:
                     raise SemanticError(
-                        f"{where}: loop variable {stmt.var!r} shadows a declaration"
+                        f"{where}: loop variable {stmt.var!r} shadows a "
+                        f"declaration",
+                        location=loc,
                     )
                 for bound in (stmt.lo, stmt.hi, stmt.step):
-                    check_expr(bound, loop_vars, where)
-                    check_replicated_control(bound, where, "loop bound")
+                    check_expr(bound, loop_vars, where, loc)
+                    check_replicated_control(bound, where, "loop bound", loc)
                 check_stmts(stmt.body, loop_vars | {stmt.var})
             elif isinstance(stmt, ast.If):
-                check_expr(stmt.cond, loop_vars, where)
-                check_replicated_control(stmt.cond, where, "branch condition")
+                check_expr(stmt.cond, loop_vars, where, loc)
+                check_replicated_control(stmt.cond, where, "branch condition", loc)
                 check_stmts(stmt.then_body, loop_vars)
                 check_stmts(stmt.else_body, loop_vars)
 

@@ -259,6 +259,7 @@ class ParamDecl:
 
     name: str
     value: int
+    loc: SourceLocation = field(default_factory=lambda: NOWHERE)
 
 
 @dataclass
@@ -267,6 +268,7 @@ class ProcessorsDecl:
 
     name: str
     shape: tuple[Expr, ...]
+    loc: SourceLocation = field(default_factory=lambda: NOWHERE)
 
 
 @dataclass
@@ -275,6 +277,7 @@ class TemplateDecl:
 
     name: str
     shape: tuple[Expr, ...]
+    loc: SourceLocation = field(default_factory=lambda: NOWHERE)
 
 
 @dataclass
@@ -285,6 +288,7 @@ class DistributeDecl:
     target: str
     formats: tuple[str, ...]
     onto: str
+    loc: SourceLocation = field(default_factory=lambda: NOWHERE)
 
 
 @dataclass
@@ -294,6 +298,7 @@ class AlignDecl:
 
     array: str
     target: str
+    loc: SourceLocation = field(default_factory=lambda: NOWHERE)
 
 
 @dataclass
@@ -305,6 +310,7 @@ class ArrayDecl:
     dims: tuple[Expr, ...]
     elem_type: str = "REAL"
     elem_bytes: int = 8
+    loc: SourceLocation = field(default_factory=lambda: NOWHERE)
 
 
 @dataclass
@@ -313,6 +319,7 @@ class ScalarDecl:
 
     name: str
     elem_type: str = "REAL"
+    loc: SourceLocation = field(default_factory=lambda: NOWHERE)
 
 
 Decl = Union[

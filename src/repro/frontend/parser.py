@@ -24,7 +24,7 @@ array reference (declaration checking happens later, in
 
 from __future__ import annotations
 
-from ..errors import ParseError
+from ..errors import LexError, ParseError, ReproError
 from . import ast_nodes as ast
 from .lexer import Token, tokenize
 
@@ -109,23 +109,24 @@ class Parser:
     # -- declarations ----------------------------------------------------------
 
     def _parse_decl(self) -> ast.Decl:
+        loc = self._cur.loc
         if self._accept("PARAM"):
             name = self._expect("IDENT").text
             self._expect("=")
             negative = self._accept("-") is not None
             value_tok = self._expect("NUMBER")
             value = int(float(value_tok.text))
-            return ast.ParamDecl(name, -value if negative else value)
+            return ast.ParamDecl(name, -value if negative else value, loc=loc)
 
         if self._accept("PROCESSORS"):
             name = self._expect("IDENT").text
             shape = self._parse_paren_exprs()
-            return ast.ProcessorsDecl(name, shape)
+            return ast.ProcessorsDecl(name, shape, loc=loc)
 
         if self._accept("TEMPLATE"):
             name = self._expect("IDENT").text
             shape = self._parse_paren_exprs()
-            return ast.TemplateDecl(name, shape)
+            return ast.TemplateDecl(name, shape, loc=loc)
 
         if self._accept("DISTRIBUTE"):
             target = self._expect("IDENT").text
@@ -136,13 +137,13 @@ class Parser:
             self._expect(")")
             self._expect("ONTO")
             onto = self._expect("IDENT").text
-            return ast.DistributeDecl(target, tuple(formats), onto)
+            return ast.DistributeDecl(target, tuple(formats), onto, loc=loc)
 
         if self._accept("ALIGN"):
             array = self._expect("IDENT").text
             self._expect("WITH")
             target = self._expect("IDENT").text
-            return ast.AlignDecl(array, target)
+            return ast.AlignDecl(array, target, loc=loc)
 
         for type_kw in _TYPE_KEYWORDS:
             if self._accept(type_kw):
@@ -155,11 +156,11 @@ class Parser:
                         # An inline ALIGN expands to two declarations at the
                         # builder level; here we keep them separate by
                         # returning the array decl and queueing the align.
-                        self._pending_align = ast.AlignDecl(name, target)
-                        decl = ast.ArrayDecl(name, dims, elem_type=type_kw)
+                        self._pending_align = ast.AlignDecl(name, target, loc=loc)
+                        decl = ast.ArrayDecl(name, dims, elem_type=type_kw, loc=loc)
                         return decl
-                    return ast.ArrayDecl(name, dims, elem_type=type_kw)
-                return ast.ScalarDecl(name, elem_type=type_kw)
+                    return ast.ArrayDecl(name, dims, elem_type=type_kw, loc=loc)
+                return ast.ScalarDecl(name, elem_type=type_kw, loc=loc)
 
         raise ParseError(f"expected a declaration, found {self._cur.kind!r}", self._cur.loc)
 
@@ -384,3 +385,111 @@ class _SplicingParser(Parser):
         program = ast.Program(name, decls, body)
         ast.number_statements(program)
         return program
+
+
+class _StopParsing(Exception):
+    """Internal signal: the recovering parser hit its error cap."""
+
+
+class RecoveringParser(_SplicingParser):
+    """Parser with statement-boundary error recovery.
+
+    A :class:`ParseError` inside a declaration or statement is recorded and
+    the parser resynchronizes at the next statement boundary (the next
+    ``NEWLINE``), so one run surfaces every independent syntax error up to
+    ``max_errors``.  Recovery never produces a partial AST — callers get
+    either a clean program or the full diagnostic list.
+    """
+
+    def __init__(self, tokens: list[Token], max_errors: int = 10) -> None:
+        super().__init__(tokens)
+        self.max_errors = max(1, max_errors)
+        self.errors: list[ParseError] = []
+
+    def _note(self, exc: ParseError) -> None:
+        self.errors.append(exc)
+        if len(self.errors) >= self.max_errors:
+            raise _StopParsing
+
+    def _sync_to_boundary(self) -> None:
+        """Skip tokens up to and past the next statement boundary.
+
+        Always makes progress: even when the error token *is* the
+        boundary, the ``_accept`` consumes it.
+        """
+        while not self._at("NEWLINE", "EOF"):
+            self._advance()
+        self._accept("NEWLINE")
+        self._skip_newlines()
+
+    def _parse_stmt_list(self, stop_kinds: tuple[str, ...]) -> list[ast.Stmt]:
+        self._skip_newlines()
+        stmts: list[ast.Stmt] = []
+        while not self._at(*stop_kinds, "EOF"):
+            before = self._pos
+            try:
+                stmts.append(self._parse_stmt())
+            except ParseError as exc:
+                self._note(exc)
+                if self._pos == before and self._at(*stop_kinds):
+                    break  # the offending token belongs to the parent
+                self._sync_to_boundary()
+        return stmts
+
+    def parse_program(self) -> ast.Program:
+        self._skip_newlines()
+        self._expect("PROGRAM")
+        name = self._expect("IDENT").text
+        self._end_of_statement()
+
+        decls: list[ast.Decl] = []
+        while self._is_decl_start():
+            try:
+                decl = self._parse_decl()
+                decls.append(decl)
+                if self._pending_align is not None:
+                    decls.append(self._pending_align)
+                    self._pending_align = None
+                self._end_of_statement()
+            except ParseError as exc:
+                self._pending_align = None
+                self._note(exc)
+                self._sync_to_boundary()
+
+        body = self._parse_stmt_list(("END",))
+        try:
+            self._expect("END")
+            self._accept("PROGRAM")
+            self._skip_newlines()
+            self._expect("EOF")
+        except ParseError as exc:
+            self._note(exc)
+        program = ast.Program(name, decls, body)
+        ast.number_statements(program)
+        return program
+
+
+def parse_recovering(
+    source: str, max_errors: int = 10
+) -> "tuple[ast.Program | None, list[ReproError]]":
+    """Parse with statement-boundary error recovery.
+
+    Returns ``(program, [])`` on success, or ``(None, errors)`` with every
+    syntax error found (capped at ``max_errors``).  Errors *before* the
+    first statement boundary (a malformed ``PROGRAM`` header, a lex error)
+    cannot be recovered from and come back as a single-element list.
+    """
+    try:
+        tokens = tokenize(source)
+    except LexError as exc:
+        return None, [exc]  # type: ignore[list-item]
+    parser = RecoveringParser(tokens, max_errors=max_errors)
+    try:
+        program = parser.parse_program()
+    except _StopParsing:
+        return None, list(parser.errors)
+    except ParseError as exc:
+        return None, list(parser.errors) + [exc]
+    if parser.errors:
+        return None, list(parser.errors)
+    return program, []

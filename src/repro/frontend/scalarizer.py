@@ -38,7 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..affine import NonAffineError
-from ..errors import ScalarizationError
+from ..errors import ScalarizationError, SourceLocation
 from . import ast_nodes as ast
 from .analysis import ProgramInfo, to_affine
 
@@ -59,6 +59,10 @@ class Scalarizer:
         self._counter = 0
         self._temp_counter = 0
         self.new_decls: list[ast.Decl] = []
+        # Location of the statement currently being scalarized, so every
+        # ScalarizationError carries a source position without threading a
+        # location through each helper.
+        self._loc: SourceLocation | None = None
 
     # -- helpers -------------------------------------------------------------
 
@@ -70,10 +74,13 @@ class Scalarizer:
         try:
             form = to_affine(expr, self._info.params)
         except NonAffineError as exc:
-            raise ScalarizationError(f"{where}: {exc}") from None
+            raise ScalarizationError(
+                f"{where}: {exc}", location=self._loc
+            ) from None
         if not form.is_constant:
             raise ScalarizationError(
-                f"{where}: section bound {expr} is not compile-time constant"
+                f"{where}: section bound {expr} is not compile-time constant",
+                location=self._loc,
             )
         return form.const
 
@@ -87,7 +94,10 @@ class Scalarizer:
         hi = extent if triplet.hi is None else self._const(triplet.hi, where)
         step = 1 if triplet.step is None else self._const(triplet.step, where)
         if step < 1:
-            raise ScalarizationError(f"{where}: negative/zero section step {step}")
+            raise ScalarizationError(
+                f"{where}: negative/zero section step {step}",
+                location=self._loc,
+            )
         return lo, hi, step
 
     @staticmethod
@@ -109,6 +119,7 @@ class Scalarizer:
         return out
 
     def _scalarize_stmt(self, stmt: ast.Stmt) -> list[ast.Stmt]:
+        self._loc = stmt.loc
         if isinstance(stmt, ast.Do):
             return [
                 ast.Do(
@@ -272,7 +283,8 @@ class Scalarizer:
         if len(sections) != len(loops):
             raise ScalarizationError(
                 f"{where}: RHS reference {expr} has {len(sections)} section "
-                f"dimensions but the LHS has {len(loops)}"
+                f"dimensions but the LHS has {len(loops)}",
+                location=self._loc,
             )
         new_subs = list(expr.subscripts)
         for (dim, sub), loop, lhs_count in zip(sections, loops, lhs_counts):
@@ -281,7 +293,8 @@ class Scalarizer:
             if count != lhs_count:
                 raise ScalarizationError(
                     f"{where}: section extent mismatch in {expr}: RHS dim {dim} "
-                    f"has {count} elements, LHS expects {lhs_count}"
+                    f"has {count} elements, LHS expects {lhs_count}",
+                    location=self._loc,
                 )
             new_subs[dim] = ast.Index(self._index_expr(lo, step, loop.var))
         return ast.ArrayRef(expr.name, tuple(new_subs))
@@ -296,7 +309,8 @@ class Scalarizer:
                 raise ScalarizationError(
                     f"{where}: sectioned reference {node} on the RHS of a "
                     f"non-sectioned assignment (only reductions may keep "
-                    f"sections)"
+                    f"sections)",
+                    location=self._loc,
                 )
             if isinstance(node, ast.BinOp):
                 visit(node.left)

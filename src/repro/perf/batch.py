@@ -13,14 +13,36 @@ unchanged program set (the common edit-compile loop) only pays for the
 files whose content actually changed.  Full :class:`CompilationResult`
 objects hold ASTs and analysis state and are deliberately *not* shipped
 between processes; workers reduce them to summaries first.
+
+Crash safety (see ``docs/ROBUSTNESS.md``):
+
+* a :class:`RetryPolicy` gives every pooled job a wall-clock **timeout**
+  and a bounded number of **retries** with exponential backoff after a
+  timeout or a worker crash (``BrokenProcessPool``); the poisoned pool is
+  killed and rebuilt, and retries run one job at a time so the culprit is
+  attributed exactly;
+* inputs that keep failing are **quarantined**: they get a structured
+  error result, are never retried again by this compiler instance, and
+  never take the rest of the batch down with them;
+* an optional **checkpoint file** persists every finished result as it
+  lands (atomic rename), so a killed ``run`` restarted with the same
+  checkpoint path resumes where it left off and returns the same results
+  an uninterrupted run would.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
+import json
+import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    CancelledError,
+    ProcessPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, fields
 from typing import Iterable, Optional
 
@@ -111,10 +133,48 @@ class BatchStats:
     deduped: int = 0
     errors: int = 0
     elapsed: float = 0.0
+    timeouts: int = 0
+    retries: int = 0
+    quarantined: int = 0
+    resumed: int = 0
 
     @property
     def hit_rate(self) -> float:
         return self.cache_hits / self.jobs if self.jobs else 0.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Fault policy for pooled compilation.
+
+    ``timeout`` is per-job wall-clock seconds (``None`` disables it; a
+    timeout forces pooled execution even with one worker, since an
+    in-process compile cannot be interrupted).  A job that times out or
+    whose worker crashes is retried up to ``max_retries`` times, sleeping
+    ``backoff * 2**(attempt-1)`` seconds first.  After
+    ``quarantine_after`` failed attempts (or when retries run out) the
+    input is quarantined: it gets an error result and is never run again
+    by this compiler instance.
+    """
+
+    timeout: Optional[float] = None
+    max_retries: int = 2
+    backoff: float = 0.1
+    quarantine_after: int = 3
+
+
+def _failure_result(job: BatchJob, key: str, message: str) -> BatchResult:
+    return BatchResult(
+        name=job.name,
+        key=key,
+        strategy=Strategy.parse(job.strategy).value,
+        call_sites=0,
+        call_sites_by_kind={},
+        entries=0,
+        eliminated=0,
+        elapsed=0.0,
+        error=message,
+    )
 
 
 class BatchCompiler:
@@ -122,15 +182,62 @@ class BatchCompiler:
 
     ``workers > 1`` fans distinct jobs out over a process pool; the
     default (1) compiles serially in-process, which on a single-core
-    machine is also the fastest configuration.
+    machine is also the fastest configuration.  ``policy`` bounds each
+    pooled job (timeout/retry/quarantine); ``checkpoint_path`` makes runs
+    resumable across process death.
     """
 
-    def __init__(self, workers: int = 1) -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        policy: RetryPolicy | None = None,
+        checkpoint_path: "str | os.PathLike[str] | None" = None,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        self.policy = policy or RetryPolicy()
+        self.checkpoint_path = (
+            os.fspath(checkpoint_path) if checkpoint_path is not None else None
+        )
         self._results: dict[str, BatchResult] = {}
+        self.quarantined: set[str] = set()
         self.stats = BatchStats()
+        self._load_checkpoint()
+
+    # -- checkpoint/resume ----------------------------------------------------
+
+    def _load_checkpoint(self) -> None:
+        if not self.checkpoint_path or not os.path.exists(self.checkpoint_path):
+            return
+        try:
+            with open(self.checkpoint_path) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return  # corrupt/truncated checkpoint: start fresh
+        for key, rec in payload.get("results", {}).items():
+            try:
+                self._results[key] = BatchResult(**rec)
+            except TypeError:
+                continue  # field mismatch from an older version: recompile
+        self.quarantined.update(payload.get("quarantined", []))
+        self.stats.resumed = len(self._results)
+
+    def _save_checkpoint(self) -> None:
+        """Atomically persist every result so far (rename is the commit)."""
+        if not self.checkpoint_path:
+            return
+        payload = {
+            "results": {
+                key: dataclasses.asdict(res)
+                for key, res in self._results.items()
+            },
+            "quarantined": sorted(self.quarantined),
+        }
+        tmp = f"{self.checkpoint_path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, self.checkpoint_path)
 
     def run(self, jobs: Iterable[BatchJob]) -> list[BatchResult]:
         """Compile ``jobs``, returning one result per job in order.
@@ -181,15 +288,121 @@ class BatchCompiler:
     ) -> dict[str, BatchResult]:
         if not pending:
             return {}
-        if self.workers == 1 or len(pending) == 1:
-            return {
-                key: _compile_job(job, key) for key, job in pending.items()
-            }
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            results = pool.map(
-                _compile_job, pending.values(), pending.keys()
-            )
-            return dict(zip(pending.keys(), results))
+        # A timeout can only be enforced across a process boundary, so it
+        # forces pooled execution even with a single worker.
+        pooled = self.workers > 1 or self.policy.timeout is not None
+        if not pooled:
+            fresh: dict[str, BatchResult] = {}
+            for key, job in pending.items():
+                fresh[key] = _compile_job(job, key)
+                self._results[key] = fresh[key]
+                self._save_checkpoint()
+            return fresh
+        return self._compile_pooled(pending)
+
+    def _kill_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Tear down a pool that may hold a stuck or dead worker."""
+        processes = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            try:
+                proc.terminate()
+            except (OSError, ValueError):
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _compile_pooled(
+        self, pending: dict[str, BatchJob]
+    ) -> dict[str, BatchResult]:
+        """Pooled execution with per-job timeout, retry, and quarantine.
+
+        The first wave submits every job at once.  Any wave containing a
+        failure poisons attribution (a crashed worker breaks every pending
+        future), so after the first failure retries run one job per wave —
+        a failure then names its culprit exactly, and innocent collateral
+        jobs succeed on their isolated retry without an attempt charged.
+        """
+        policy = self.policy
+        fresh: dict[str, BatchResult] = {}
+        queue: list[tuple[str, BatchJob]] = list(pending.items())
+        attempts: dict[str, int] = {key: 0 for key in pending}
+        isolate = False
+        pool = ProcessPoolExecutor(max_workers=self.workers)
+        try:
+            while queue:
+                if isolate:
+                    wave, queue = queue[:1], queue[1:]
+                else:
+                    wave, queue = queue, []
+                futures = []
+                for key, job in wave:
+                    try:
+                        futures.append((key, job, pool.submit(_compile_job, job, key)))
+                    except BrokenExecutor:
+                        futures.append((key, job, None))
+                failed: list[tuple[str, BatchJob, str]] = []
+                pool_broken = False
+                for key, job, fut in futures:
+                    if fut is None:
+                        failed.append((key, job, "worker pool broken"))
+                        pool_broken = True
+                        continue
+                    try:
+                        fresh[key] = fut.result(timeout=policy.timeout)
+                        self._results[key] = fresh[key]
+                        self._save_checkpoint()
+                    except FuturesTimeout:
+                        failed.append(
+                            (key, job, f"timed out after {policy.timeout}s")
+                        )
+                        self.stats.timeouts += 1
+                        pool_broken = True  # a stuck worker still holds it
+                    except (BrokenExecutor, CancelledError, OSError) as exc:
+                        failed.append(
+                            (key, job, f"worker crashed ({type(exc).__name__})")
+                        )
+                        pool_broken = True
+                    except Exception as exc:
+                        # E.g. an unpicklable job: the feeder thread parks
+                        # its error on the future.  The pool is healthy;
+                        # the job is not — structured failure, not a crash.
+                        failed.append(
+                            (key, job,
+                             f"submission failed "
+                             f"({type(exc).__name__}: {exc})")
+                        )
+                if pool_broken:
+                    self._kill_pool(pool)
+                    pool = ProcessPoolExecutor(max_workers=self.workers)
+                if not failed:
+                    continue
+                for key, job, why in failed:
+                    # Exact attribution only in single-job waves; a failure
+                    # in a group wave charges nobody (the culprit is
+                    # unknown) — everyone retries isolated instead.
+                    if isolate or len(futures) == 1:
+                        attempts[key] += 1
+                    out_of_retries = attempts[key] > policy.max_retries
+                    if attempts[key] >= policy.quarantine_after or out_of_retries:
+                        self.quarantined.add(key)
+                        self.stats.quarantined += 1
+                        fresh[key] = _failure_result(
+                            job,
+                            key,
+                            f"quarantined after {attempts[key]} failed "
+                            f"attempts: {why}",
+                        )
+                        self._results[key] = fresh[key]
+                        self._save_checkpoint()
+                    else:
+                        self.stats.retries += 1
+                        queue.append((key, job))
+                isolate = True
+                if policy.backoff > 0:
+                    worst = max(attempts[key] for key, _, _ in failed)
+                    time.sleep(policy.backoff * (2 ** max(0, worst - 1)))
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return fresh
 
 
 def benchmark_jobs(

@@ -143,8 +143,48 @@ def run_ablation(
     }
 
 
+def run_self_check(synthetic_phases: int = 48) -> dict[str, Any]:
+    """Oracle gate: compile every benchmark (all strategies) plus the
+    synthetic program and run the dynamic schedule checker on each output.
+
+    A failing compile or oracle *degrades* rather than aborting the
+    harness: the failure is recorded per program and the remaining checks
+    still run, so one bad benchmark never hides the rest of the report.
+    """
+    from ..evaluation.programs import BENCHMARKS
+    from ..runtime.checker import check_schedule
+
+    sources = dict(BENCHMARKS)
+    sources[f"synthetic_{synthetic_phases}"] = synthetic_program(
+        synthetic_phases
+    )
+    checks: dict[str, Any] = {}
+    for name, source in sources.items():
+        for strategy in Strategy:
+            label = f"{name}:{strategy.value}"
+            try:
+                result = compile_program(source, strategy=strategy)
+                stats = check_schedule(result)
+            except Exception as exc:  # degrade, don't abort the harness
+                checks[label] = {
+                    "ok": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+                continue
+            checks[label] = {
+                "ok": True,
+                "deliveries": stats.deliveries,
+                "reads_checked": stats.reads_checked,
+                "degradations": len(result.degradations),
+            }
+    failed = sorted(k for k, v in checks.items() if not v["ok"])
+    return {"checks": checks, "failed": failed, "ok": not failed}
+
+
 def run_bench(
-    repeats: int = 3, synthetic_phases: int = 48
+    repeats: int = 3,
+    synthetic_phases: int = 48,
+    self_check: bool = False,
 ) -> dict[str, Any]:
     """The full measurement: paper benchmarks + synthetic + ablation."""
     from ..evaluation.programs import BENCHMARKS
@@ -155,20 +195,28 @@ def run_bench(
     programs[f"synthetic_{synthetic_phases}"] = profile_compile(
         synthetic_program(synthetic_phases), repeats=repeats
     )
-    return {
+    payload = {
         "repeats": repeats,
         "programs": programs,
         "ablation": run_ablation(synthetic_phases, repeats=repeats),
     }
+    if self_check:
+        payload["self_check"] = run_self_check(synthetic_phases)
+    return payload
 
 
 def write_bench(
     path: str = "BENCH_compile.json",
     repeats: int = 3,
     synthetic_phases: int = 48,
+    self_check: bool = False,
 ) -> dict[str, Any]:
     """Run the harness and write the JSON report; returns the payload."""
-    payload = run_bench(repeats=repeats, synthetic_phases=synthetic_phases)
+    payload = run_bench(
+        repeats=repeats,
+        synthetic_phases=synthetic_phases,
+        self_check=self_check,
+    )
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -201,4 +249,14 @@ def format_bench(payload: dict[str, Any]) -> str:
         f"{ab['cached_s'] * 1000:.1f}ms, uncached {ab['uncached_s'] * 1000:.1f}ms "
         f"-> {ab['speedup']:.2f}x"
     )
+    sc = payload.get("self_check")
+    if sc is not None:
+        total = len(sc["checks"])
+        if sc["ok"]:
+            lines.append(f"self-check: {total}/{total} schedules verified")
+        else:
+            lines.append(
+                f"self-check: {total - len(sc['failed'])}/{total} verified; "
+                f"FAILED: {', '.join(sc['failed'])}"
+            )
     return "\n".join(lines)

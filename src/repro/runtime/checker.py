@@ -205,7 +205,10 @@ class ScheduleChecker(Interpreter):
             self.arrays[entry.array][tuple(c - 1 for c in coords)]
         )
         got = delivery.value_at(coords)
-        if got != current:
+        # NaN-aware equality: a benchmark whose arithmetic produces NaN
+        # (e.g. overflow in a long-running stencil) must not trip the
+        # staleness check when the delivered NaN is the value read.
+        if got != current and not (np.isnan(got) and np.isnan(current)):
             raise SimulationError(
                 f"use {entry.label}: stale value at {coords}: communication "
                 f"delivered {got!r} but the use reads {current!r}"

@@ -62,14 +62,60 @@ class TestCompile:
             main(["compile", program_file, "--param", "oops"])
 
     def test_missing_file(self, capsys):
-        assert main(["compile", "/nonexistent.hpf"]) == 1
-        assert "error" in capsys.readouterr().err
+        assert main(["compile", "/nonexistent.hpf"]) == 2
+        err = capsys.readouterr().err
+        assert "no such file" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1  # one-line diagnostic
+
+    def test_missing_file_simulate(self, capsys):
+        assert main(["simulate", "/nonexistent.hpf"]) == 2
+        assert "no such file" in capsys.readouterr().err
 
     def test_compile_error_reported(self, tmp_path, capsys):
         bad = tmp_path / "bad.hpf"
         bad.write_text("PROGRAM x\nq = undeclared_thing\nEND\n")
         assert main(["compile", str(bad)]) == 1
         assert "error" in capsys.readouterr().err
+
+    def test_multiple_syntax_errors_one_run(self, tmp_path, capsys):
+        bad = tmp_path / "bad.hpf"
+        bad.write_text(
+            "PROGRAM x\nREAL a(4)\na(1) = = 1\na(2) = * 2\na(3) = 3\nEND\n"
+        )
+        assert main(["compile", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert err.count("E0200") == 2  # both errors in one run
+
+    def test_max_errors_cap(self, tmp_path, capsys):
+        bad = tmp_path / "bad.hpf"
+        lines = [f"a({i}) = = {i}" for i in range(1, 8)]
+        bad.write_text("PROGRAM x\nREAL a(9)\n" + "\n".join(lines) + "\nEND\n")
+        assert main(["compile", str(bad), "--max-errors", "3"]) == 1
+        assert capsys.readouterr().err.count("E0200") == 3
+
+    def test_diagnostics_json_errors(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "bad.hpf"
+        bad.write_text("PROGRAM x\nREAL a(4)\na(1) = = 1\nEND\n")
+        assert main(["compile", str(bad), "--diagnostics-json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["file"] == str(bad)
+        (diag,) = payload["diagnostics"]
+        assert diag["code"] == "E0200"
+        assert diag["severity"] == "error"
+        assert diag["line"] == 3
+
+    def test_diagnostics_json_clean(self, program_file, capsys):
+        import json
+
+        assert main(["compile", program_file, "--diagnostics-json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["diagnostics"] == []
+
+    def test_strict_flag_accepted(self, program_file):
+        assert main(["compile", program_file, "--strict"]) == 0
 
 
 class TestOtherCommands:

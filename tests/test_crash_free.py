@@ -1,0 +1,167 @@
+"""The crash-free frontier: no input — however malformed — may escape the
+library as a bare ``KeyError``/``AttributeError``/``IndexError``.
+
+Every failure must surface as a :class:`ReproError` subclass.  Three layers
+enforce this: structured errors in the frontend (lexer/parser/semantic
+analysis), per-pass fault boundaries in placement, and the
+``InternalCompilerError`` wrapper around :func:`compile_program`.  The
+tests here fuzz each layer with hand-picked malformed programs plus
+hypothesis-generated mutations of a valid program.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import compile_program
+from repro.errors import ReproError
+from repro.frontend.analysis import elaborate
+from repro.frontend.lexer import tokenize
+from repro.frontend.parser import parse, parse_recovering
+
+VALID = """PROGRAM base
+PARAM n = 8
+PROCESSORS p(2)
+REAL a(n)
+REAL b(n)
+DISTRIBUTE a(BLOCK) ONTO p
+DISTRIBUTE b(BLOCK) ONTO p
+DO t = 1, 2
+b(2:n-1) = a(1:n-2)
+a(2:n-1) = b(2:n-1)
+END DO
+END PROGRAM
+"""
+
+# Hand-picked malformed inputs: one per failure class we have seen or can
+# imagine.  Each must raise a ReproError (or compile cleanly) — never a
+# bare builtin exception.
+MALFORMED = [
+    "",
+    "\n\n\n",
+    "PROGRAM",
+    "PROGRAM x",
+    "PROGRAM x\nEND",
+    "END PROGRAM",
+    "PROGRAM x\nREAL\nEND",
+    "PROGRAM x\nREAL a(\nEND",
+    "PROGRAM x\nREAL a(0)\nEND",
+    "PROGRAM x\nREAL a(-4)\na(1) = 0\nEND",
+    "PROGRAM x\nREAL a(n)\nEND",  # undefined param
+    "PROGRAM x\nPARAM n\nEND",
+    "PROGRAM x\nPARAM n = \nEND",
+    "PROGRAM x\nq = 1\nEND",
+    "PROGRAM x\nREAL a(4)\na() = 1\nEND",
+    "PROGRAM x\nREAL a(4)\na(1, 2) = 1\nEND",
+    "PROGRAM x\nREAL a(4)\na(5:1) = 1\nEND",
+    "PROGRAM x\nREAL a(4)\na(1:4:0) = 1\nEND",
+    "PROGRAM x\nREAL a(4)\na(1:4) = b(1:4)\nEND",
+    "PROGRAM x\nREAL a(8)\nREAL b(8)\na(1:4) = b(1:7)\nEND",
+    "PROGRAM x\nPROCESSORS p\nEND",
+    "PROGRAM x\nPROCESSORS p(0)\nEND",
+    "PROGRAM x\nDISTRIBUTE a(BLOCK) ONTO p\nEND",
+    "PROGRAM x\nPROCESSORS p(2)\nREAL a(4)\nDISTRIBUTE a(WEIRD) ONTO p\nEND",
+    "PROGRAM x\nREAL a(4)\nALIGN a WITH q\nEND",
+    "PROGRAM x\nDO t = 1, 2\nEND",  # unclosed loop
+    "PROGRAM x\nDO t\nEND DO\nEND",
+    "PROGRAM x\nEND DO\nEND",
+    "PROGRAM x\nIF\nEND",
+    "PROGRAM x\nREAL a(4)\na(1) = = 2\nEND",
+    "PROGRAM x\nREAL a(4)\na(1) = 1 +\nEND",
+    "PROGRAM x\nREAL a(4)\na(1) = (1\nEND",
+    "PROGRAM x\nREAL a(4)\na(1) = 1 @ 2\nEND",
+    "\x00\x01\x02",
+    "PROGRAM x\nREAL a(4)\na(1) = 1\n" * 3,  # duplicate PROGRAM headers
+]
+
+
+def _must_be_structured(fn):
+    """Run fn(); allow success or any ReproError, reject bare crashes."""
+    try:
+        fn()
+    except ReproError:
+        pass
+    # Any other exception type propagates and fails the test.
+
+
+class TestMalformedInputs:
+    @pytest.mark.parametrize("source", MALFORMED)
+    def test_tokenize_structured(self, source):
+        _must_be_structured(lambda: tokenize(source))
+
+    @pytest.mark.parametrize("source", MALFORMED)
+    def test_parse_structured(self, source):
+        _must_be_structured(lambda: parse(source))
+
+    @pytest.mark.parametrize("source", MALFORMED)
+    def test_parse_recovering_structured(self, source):
+        """Error recovery must degrade to a diagnostic list, not crash."""
+        program, errors = parse_recovering(source)
+        for err in errors:
+            assert isinstance(err, ReproError)
+        assert program is not None or errors
+
+    @pytest.mark.parametrize("source", MALFORMED)
+    def test_compile_structured(self, source):
+        _must_be_structured(lambda: compile_program(source))
+
+    @pytest.mark.parametrize("source", MALFORMED)
+    def test_elaborate_structured(self, source):
+        def run():
+            elaborate(parse(source))
+
+        _must_be_structured(run)
+
+
+@st.composite
+def mutated_program(draw):
+    """A valid program damaged by deletion, duplication, truncation, or
+    character substitution — the classic fuzz moves."""
+    lines = VALID.splitlines()
+    move = draw(st.sampled_from(["delete", "dup", "truncate", "subst", "swap"]))
+    if move == "delete":
+        idx = draw(st.integers(0, len(lines) - 1))
+        del lines[idx]
+    elif move == "dup":
+        idx = draw(st.integers(0, len(lines) - 1))
+        lines.insert(idx, lines[idx])
+    elif move == "truncate":
+        keep = draw(st.integers(0, len(lines) - 1))
+        lines = lines[:keep]
+    elif move == "swap":
+        i = draw(st.integers(0, len(lines) - 2))
+        lines[i], lines[i + 1] = lines[i + 1], lines[i]
+    else:
+        text = "\n".join(lines)
+        pos = draw(st.integers(0, len(text) - 1))
+        ch = draw(st.sampled_from("()=+*:,1@#$%~` "))
+        return text[:pos] + ch + text[pos + 1 :]
+    return "\n".join(lines)
+
+
+class TestFuzzedPrograms:
+    @settings(max_examples=150, deadline=None)
+    @given(source=mutated_program())
+    def test_compile_never_crashes_bare(self, source):
+        _must_be_structured(lambda: compile_program(source))
+
+    @settings(max_examples=80, deadline=None)
+    @given(source=mutated_program())
+    def test_recovery_never_crashes_bare(self, source):
+        program, errors = parse_recovering(source)
+        for err in errors:
+            assert isinstance(err, ReproError)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        source=st.text(
+            alphabet=st.sampled_from(
+                list("PROGRAMENDOIFREALparam=()+*:,\n 123abn")
+            ),
+            max_size=200,
+        )
+    )
+    def test_random_text_never_crashes_bare(self, source):
+        _must_be_structured(lambda: compile_program(source))

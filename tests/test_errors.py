@@ -5,14 +5,19 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import (
+    DEGRADED_CODE,
+    ERROR_CODES,
     CodegenError,
     DependenceError,
+    Diagnostic,
+    InternalCompilerError,
     LexError,
     ParseError,
     PlacementError,
     ReproError,
     ScalarizationError,
     SemanticError,
+    Severity,
     SimulationError,
     SourceLocation,
 )
@@ -104,3 +109,105 @@ class TestDiagnosticQuality:
             compile_program(
                 "PROGRAM x\nPROCESSORS p(2)\nDISTRIBUTE q(BLOCK) ONTO p\nEND"
             )
+
+
+class TestErrorCodes:
+    """Every phase has a stable machine-readable code."""
+
+    EXPECTED = {
+        "E0000": ReproError,
+        "E0100": LexError,
+        "E0200": ParseError,
+        "E0300": SemanticError,
+        "E0400": ScalarizationError,
+        "E0500": DependenceError,
+        "E0600": PlacementError,
+        "E0700": CodegenError,
+        "E0800": SimulationError,
+        "E0900": InternalCompilerError,
+    }
+
+    def test_code_table_complete_and_stable(self):
+        assert ERROR_CODES == self.EXPECTED
+
+    def test_codes_are_unique(self):
+        codes = [cls.code for cls in self.EXPECTED.values()]
+        assert len(codes) == len(set(codes))
+
+    def test_degraded_code_in_warning_space(self):
+        assert DEGRADED_CODE.startswith("W")
+        assert DEGRADED_CODE not in ERROR_CODES
+
+    def test_all_errors_default_severity_error(self):
+        for cls in self.EXPECTED.values():
+            assert cls.severity is Severity.ERROR
+
+
+class TestDiagnosticRendering:
+    def test_format_with_location(self):
+        diag = Diagnostic(
+            code="E0200", severity="error", message="unexpected token",
+            phase="parse", line=3, column=7,
+        )
+        assert diag.format("prog.hpf") == (
+            "prog.hpf:3:7: error[E0200]: unexpected token"
+        )
+
+    def test_format_without_location_or_filename(self):
+        diag = Diagnostic(code="E0600", severity="error", message="oops")
+        assert diag.format() == "<input>: error[E0600]: oops"
+
+    def test_to_dict_round_trips_fields(self):
+        diag = Diagnostic(
+            code="E0300", severity="error", message="m", phase="semantic",
+            line=1, column=2,
+        )
+        assert diag.to_dict() == {
+            "code": "E0300", "severity": "error", "phase": "semantic",
+            "message": "m", "line": 1, "column": 2,
+        }
+
+    def test_error_diagnostic_carries_location(self):
+        err = SemanticError("bad thing", SourceLocation(5, 9))
+        diag = err.diagnostic()
+        assert (diag.code, diag.line, diag.column) == ("E0300", 5, 9)
+        assert diag.severity == "error"
+
+    def test_lex_error_diagnostic_unprefixed(self):
+        """diagnostic() must not repeat the location text already baked
+        into str(err)."""
+        err = LexError("bad char", SourceLocation(4, 2))
+        assert err.diagnostic().message == "bad char"
+        assert err.diagnostic().line == 4
+
+
+class TestLocationsAttached:
+    """Frontend errors must point at the offending source line."""
+
+    def test_semantic_error_has_location(self):
+        from repro import compile_program
+
+        with pytest.raises(SemanticError) as exc_info:
+            compile_program("PROGRAM x\nREAL s\ns = ghost\nEND")
+        assert exc_info.value.location is not None
+        assert exc_info.value.location.line == 3
+
+    def test_distribute_error_has_location(self):
+        from repro import compile_program
+
+        with pytest.raises(SemanticError) as exc_info:
+            compile_program(
+                "PROGRAM x\nPROCESSORS p(2)\nDISTRIBUTE q(BLOCK) ONTO p\nEND"
+            )
+        assert exc_info.value.location is not None
+        assert exc_info.value.location.line == 3
+
+    def test_scalarization_error_has_location(self):
+        from repro import compile_program
+
+        with pytest.raises(ScalarizationError) as exc_info:
+            compile_program(
+                "PROGRAM x\nREAL a(8)\nREAL b(8)\na(1:4) = b(1:6)\nEND"
+            )
+        assert exc_info.value.location is not None
+        assert exc_info.value.location.line == 4

@@ -153,3 +153,196 @@ class TestBrokenAnchoring:
         for pc in result.placed:
             pc.position = Position(result.ctx.cfg.exit.id, -1)
         oracles_reject(result)
+
+
+# ---------------------------------------------------------------------------
+# Chaos harness: the *other* direction.  The tests above prove the oracles
+# catch silently-wrong passes; the tests below prove that a *loudly*-failing
+# pass (one that raises) degrades to a sound schedule instead of failing
+# the compile.  Every optimization pass gets a fault injected through the
+# pipeline module namespace; the degraded result must pass both dynamic
+# oracles and carry the matching DegradationEvent.  strict=True must
+# re-raise the injected exception unchanged.
+# ---------------------------------------------------------------------------
+
+from repro.core import pipeline as pl
+from repro.core.context import CompilerOptions
+from repro.core.earliest import compute_earliest as real_compute_earliest
+from repro.errors import DEGRADED_CODE, PlacementError
+
+
+def _boom(exc_type):
+    def chaos(*args, **kwargs):
+        raise exc_type("injected chaos")
+
+    return chaos
+
+
+# (attr patched in repro.core.pipeline, strategy, DegradationEvent.pass_name)
+CHAOS_PASSES = [
+    ("compute_latest", "comb", "latest"),
+    ("compute_earliest", "comb", "earliest"),
+    ("mark_candidates", "comb", "candidates"),
+    ("verify_candidates", "comb", "candidates"),
+    ("subset_eliminate", "comb", "subset"),
+    ("redundancy_eliminate", "comb", "redundancy"),
+    ("greedy_choose", "comb", "greedy"),
+    ("_place_earliest", "nored", "earliest-placement"),
+]
+
+
+class TestChaosDegradedMode:
+    @pytest.mark.parametrize("exc_type", [PlacementError, RuntimeError])
+    @pytest.mark.parametrize("attr,strategy,pass_name", CHAOS_PASSES)
+    def test_faulty_pass_degrades_to_sound_schedule(
+        self, monkeypatch, attr, strategy, pass_name, exc_type
+    ):
+        monkeypatch.setattr(pl, attr, _boom(exc_type))
+        result = compile_program(SOURCE, strategy=strategy)
+        assert result.degraded
+        events = [e for e in result.degradations if e.pass_name == pass_name]
+        assert events, (
+            f"no DegradationEvent for pass {pass_name!r}; got "
+            f"{[e.pass_name for e in result.degradations]}"
+        )
+        assert events[0].error_type == exc_type.__name__
+        assert "injected chaos" in events[0].error
+        oracles_accept(result)
+
+    @pytest.mark.parametrize("exc_type", [PlacementError, RuntimeError])
+    @pytest.mark.parametrize("attr,strategy,pass_name", CHAOS_PASSES)
+    def test_strict_mode_reraises_the_fault(
+        self, monkeypatch, attr, strategy, pass_name, exc_type
+    ):
+        monkeypatch.setattr(pl, attr, _boom(exc_type))
+        with pytest.raises(exc_type, match="injected chaos"):
+            compile_program(
+                SOURCE, strategy=strategy,
+                options=CompilerOptions(strict=True),
+            )
+
+    def test_greedy_fault_falls_back_to_latest_schedule(self, monkeypatch):
+        """A dead combining pass degrades to exactly the ORIG schedule:
+        every entry alive, alone, at its Latest point."""
+        monkeypatch.setattr(pl, "greedy_choose", _boom(RuntimeError))
+        degraded = compile_program(SOURCE, strategy="comb")
+        orig = compile_program(SOURCE, strategy="orig")
+        assert not degraded.eliminated_entries()
+        assert degraded.stats.get("redundant", 0) == 0
+        assert [pc.position for pc in degraded.placed] == [
+            pc.position for pc in orig.placed
+        ]
+        oracles_accept(degraded)
+
+    def test_redundancy_fault_rolls_back_partial_eliminations(
+        self, monkeypatch
+    ):
+        """A midway redundancy crash must not leave half the entries
+        eliminated: the pass is rolled back as a unit."""
+        real = redundancy_mod.subsumes_at
+        calls = {"n": 0}
+
+        def dies_late(ctx, winner, loser, pos):
+            calls["n"] += 1
+            if calls["n"] > 2:
+                raise RuntimeError("injected chaos")
+            return real(ctx, winner, loser, pos)
+
+        monkeypatch.setattr(redundancy_mod, "subsumes_at", dies_late)
+        result = compile_program(SOURCE, strategy="comb")
+        if not any(e.pass_name == "redundancy" for e in result.degradations):
+            pytest.skip("injection point never reached on this program")
+        assert not result.eliminated_entries()
+        assert result.stats["redundant"] == 0
+        oracles_accept(result)
+
+    def test_degradation_event_shape(self, monkeypatch):
+        monkeypatch.setattr(pl, "redundancy_eliminate", _boom(RuntimeError))
+        result = compile_program(SOURCE, strategy="comb")
+        (event,) = result.degradations
+        assert event.scope == "whole pass"
+        diag = event.diagnostic()
+        assert diag.code == DEGRADED_CODE
+        assert diag.severity == "warning"
+        assert "redundancy" in diag.message
+        payload = event.to_dict()
+        assert payload["pass"] == "redundancy"
+        assert payload["error_type"] == "RuntimeError"
+
+
+class TestChaosPerEntry:
+    def test_single_entry_fault_degrades_only_that_entry(self, monkeypatch):
+        """The per-entry boundary: one flaky Earliest computation degrades
+        one entry; the rest keep their full candidate chains."""
+        calls = {"n": 0}
+
+        def flaky(ctx, entry):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("injected chaos")
+            return real_compute_earliest(ctx, entry)
+
+        monkeypatch.setattr(pl, "compute_earliest", flaky)
+        result = compile_program(SOURCE, strategy="comb")
+        events = [e for e in result.degradations if e.pass_name == "earliest"]
+        assert len(events) == 1
+        assert events[0].entry_id is not None
+        assert events[0].scope.startswith("entry ")
+        # Only the faulted entry was pinned; others still hoist.
+        pinned = [
+            e for e in result.entries if e.earliest_pos == e.latest_pos
+        ]
+        assert len(pinned) < len(result.entries)
+        oracles_accept(result)
+
+
+class TestChaosILP:
+    def test_ilp_mode_clean(self):
+        opts = CompilerOptions(placement_search="ilp")
+        result = compile_program(SOURCE, strategy="comb", options=opts)
+        assert not result.degraded
+        oracles_accept(result)
+
+    def test_ilp_fault_falls_back_to_greedy(self, monkeypatch):
+        from repro.core import ilp as ilp_mod
+
+        monkeypatch.setattr(ilp_mod, "optimal_placement", _boom(RuntimeError))
+        opts = CompilerOptions(placement_search="ilp")
+        result = compile_program(SOURCE, strategy="comb", options=opts)
+        assert any(e.pass_name == "ilp" for e in result.degradations)
+        oracles_accept(result)
+        # The fallback is the ordinary greedy schedule.
+        baseline = compile_program(SOURCE, strategy="comb")
+        assert [pc.position for pc in result.placed] == [
+            pc.position for pc in baseline.placed
+        ]
+
+    def test_ilp_fault_strict_reraises(self, monkeypatch):
+        from repro.core import ilp as ilp_mod
+
+        monkeypatch.setattr(ilp_mod, "optimal_placement", _boom(RuntimeError))
+        opts = CompilerOptions(placement_search="ilp", strict=True)
+        with pytest.raises(RuntimeError, match="injected chaos"):
+            compile_program(SOURCE, strategy="comb", options=opts)
+
+
+class TestCrashFreeFrontier:
+    def test_unexpected_crash_wrapped_as_internal_error(self, monkeypatch):
+        """A raw crash outside any fault boundary surfaces as
+        InternalCompilerError, never a bare exception."""
+        from repro.errors import InternalCompilerError
+
+        def dead_scalarize(*args, **kwargs):
+            raise KeyError("compiler bug")
+
+        monkeypatch.setattr(pl, "scalarize", dead_scalarize)
+        with pytest.raises(InternalCompilerError, match="KeyError"):
+            compile_program(SOURCE)
+
+    def test_strict_lets_raw_crash_propagate(self, monkeypatch):
+        def dead_scalarize(*args, **kwargs):
+            raise KeyError("compiler bug")
+
+        monkeypatch.setattr(pl, "scalarize", dead_scalarize)
+        with pytest.raises(KeyError):
+            compile_program(SOURCE, options=CompilerOptions(strict=True))

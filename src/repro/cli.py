@@ -232,6 +232,17 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.spmd:
+        from .perf.runbench import format_spmd_bench, write_spmd_bench
+
+        output = args.output
+        if output == "BENCH_compile.json":  # default belongs to compile mode
+            output = "BENCH_spmd.json"
+        payload = write_spmd_bench(path=output, quick=args.quick)
+        print(format_spmd_bench(payload))
+        print(f"\nwrote {output}")
+        return 0 if payload["ok"] else 1
+
     from .perf.bench import format_bench, write_bench
 
     payload = write_bench(
@@ -330,7 +341,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser(
-        "bench", help="perf-regression harness; writes BENCH_compile.json"
+        "bench", help="perf-regression harness; writes BENCH_compile.json "
+                      "(or BENCH_spmd.json with --spmd)"
     )
     p.add_argument("--output", default="BENCH_compile.json")
     p.add_argument("--repeats", type=int, default=3,
@@ -340,6 +352,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--self-check", action="store_true",
                    help="run the dynamic schedule checker on every "
                         "compiled output (degrades, never aborts)")
+    p.add_argument("--spmd", action="store_true",
+                   help="runtime benchmark instead: vectorized vs "
+                        "element-wise SPMD execution; writes BENCH_spmd.json")
+    p.add_argument("--quick", action="store_true",
+                   help="with --spmd: small problem sizes for CI smoke runs")
     p.set_defaults(func=cmd_bench)
     return parser
 

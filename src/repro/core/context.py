@@ -93,11 +93,16 @@ class AnalysisContext:
         # Pass-level verdict caches (paper §4.6/§4.7 predicates).  Both
         # predicates depend on the queried Position only through its
         # *node* — sections and live ranges are per-node — so verdicts are
-        # keyed on (entry ids, node id) and shared across every position
-        # of a block.  Entry ids are globally unique, and the caches die
-        # with the context, so keys can never collide across compiles.
+        # keyed so every position of a block shares one entry.  The
+        # subsumption cache is split into a static stage keyed on the
+        # ordered Use-identity pair (Use objects live as long as the SSA,
+        # i.e. as long as this context) and a section stage keyed on the
+        # ordered pair of hash-consed descriptor ids (the builder's intern
+        # pool holds strong references, so ids are stable); both survive
+        # entry re-collection, which mints fresh entry ids every round.
         self._combinable_cache: dict[tuple[int, int, int], bool] = {}
-        self._subsumes_cache: dict[tuple[int, int, int], bool] = {}
+        self._subsumes_static_cache: dict[tuple[int, int], bool] = {}
+        self._subsumes_section_cache: dict[tuple[int, int], bool] = {}
 
     # -- position helpers -------------------------------------------------------
 

@@ -371,9 +371,46 @@ def compile_all_strategies(
     params: dict[str, int] | None = None,
     options: CompilerOptions | None = None,
 ) -> dict[Strategy, CompilationResult]:
-    """Compile once per strategy (entries are re-analyzed per run because
-    placement mutates them)."""
-    return {
-        strat: compile_program(source, params, strat, options)
-        for strat in Strategy
-    }
+    """Compile once per strategy over one shared analysis context.
+
+    The frontend (parse → elaborate → scalarize) and the analysis stack
+    (CFG, dominators, SSA, section builder, classifier) are strategy-
+    independent, so the Figure-10 workflow builds them once; entries are
+    still re-collected per strategy because placement mutates them
+    (``eliminated_by``/``absorbed``).  Sharing the context also shares
+    its memoized verdict caches, so later strategies hit the section and
+    subsumption caches the first strategy warmed.
+    """
+    opts = options or CompilerOptions()
+    try:
+        program = parse(source) if isinstance(source, str) else source
+        info = elaborate(program, params)
+        scalarized = scalarize(program, info)
+        info = elaborate(scalarized, params)
+        ctx = AnalysisContext(info, opts)
+    except ReproError:
+        raise
+    except Exception as exc:
+        if opts.strict:
+            raise
+        raise InternalCompilerError(
+            f"unexpected {type(exc).__name__} during compilation: {exc}"
+        ) from exc
+    results: dict[Strategy, CompilationResult] = {}
+    for strat in Strategy:
+        faults: list[DegradationEvent] = []
+        try:
+            entries = analyze_entries(ctx, faults)
+            placed, stats = place(ctx, entries, strat, faults)
+        except ReproError:
+            raise
+        except Exception as exc:
+            if opts.strict:
+                raise
+            raise InternalCompilerError(
+                f"unexpected {type(exc).__name__} during compilation: {exc}"
+            ) from exc
+        results[strat] = CompilationResult(
+            ctx, strat, entries, placed, stats, faults
+        )
+    return results

@@ -32,34 +32,69 @@ def subsumes_at(
 ) -> bool:
     """Does ``winner``'s communication at ``pos`` fully cover ``loser``'s?
 
-    Verdicts are memoized per (winner, loser, node): the predicate sees
-    ``pos`` only through its node (sections widen per-node), but it is
-    *not* symmetric, so the id pair stays ordered.
+    Verdicts are memoized in two canonical stages rather than per raw
+    ``(winner.id, loser.id, node)`` triple — entry ids are minted fresh
+    for every ``collect_entries`` round, so the old key never repeated
+    and the cache sat at a 0% hit rate:
+
+    * the *static* stage (same array, same reduction-ness, mapping
+      subsumption) depends only on the underlying :class:`~repro.ir.ssa.Use`
+      pair, which is stable for the lifetime of the context — keyed on
+      the ordered ``(id(winner.use), id(loser.use))`` pair (the predicate
+      is not symmetric);
+    * the *section* stage is keyed on the ordered pair of hash-consed
+      section descriptor ids — ``section_at`` interns descriptors in the
+      builder's pool, so every position whose node widens to the same
+      footprint shares one id, and re-analysis rounds (multi-strategy
+      compiles, fixed-point re-passes) hit instead of recomputing the
+      containment.
     """
     if winner is loser:
         return False
     if not ctx.options.enable_caches:
         return _subsumes_at_impl(ctx, winner, loser, pos)
-    key = (winner.id, loser.id, pos.node_id)
     stats = ctx.cache_stats.get("subsumes")
-    verdict = ctx._subsumes_cache.get(key)
-    if verdict is not None:
+    pair_key = (id(winner.use), id(loser.use))
+    static = ctx._subsumes_static_cache.get(pair_key)
+    static_hit = static is not None
+    if not static_hit:
+        static = _subsumes_static(winner, loser)
+        ctx._subsumes_static_cache[pair_key] = static
+    if not static:
+        if static_hit:
+            stats.hits += 1
+        else:
+            stats.misses += 1
+        return False
+    node = ctx.node_of(pos)
+    sec_w = ctx.sections.section_at(winner.use, node)
+    sec_l = ctx.sections.section_at(loser.use, node)
+    sec_key = (id(sec_w), id(sec_l))
+    verdict = ctx._subsumes_section_cache.get(sec_key)
+    if verdict is None:
+        verdict = sec_w.contains(sec_l)
+        ctx._subsumes_section_cache[sec_key] = verdict
+        stats.misses += 1
+    elif static_hit:
         stats.hits += 1
-        return verdict
-    stats.misses += 1
-    verdict = _subsumes_at_impl(ctx, winner, loser, pos)
-    ctx._subsumes_cache[key] = verdict
+    else:
+        stats.misses += 1
     return verdict
+
+
+def _subsumes_static(winner: CommEntry, loser: CommEntry) -> bool:
+    """The position-independent part of the predicate."""
+    if winner.array != loser.array:
+        return False
+    if winner.is_reduction != loser.is_reduction:
+        return False
+    return mapping_subsumes(winner.pattern.mapping, loser.pattern.mapping)
 
 
 def _subsumes_at_impl(
     ctx: AnalysisContext, winner: CommEntry, loser: CommEntry, pos: Position
 ) -> bool:
-    if winner.array != loser.array:
-        return False
-    if winner.is_reduction != loser.is_reduction:
-        return False
-    if not mapping_subsumes(winner.pattern.mapping, loser.pattern.mapping):
+    if not _subsumes_static(winner, loser):
         return False
     node = ctx.node_of(pos)
     sec_w = ctx.sections.section_at(winner.use, node)

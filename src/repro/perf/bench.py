@@ -26,6 +26,7 @@ from ..core.pipeline import Strategy, analyze_entries, compile_program, place
 from ..frontend.analysis import elaborate
 from ..frontend.parser import parse
 from ..frontend.scalarizer import scalarize
+from .stats import environment_metadata
 
 
 def synthetic_program(phases: int) -> str:
@@ -99,7 +100,14 @@ def profile_compile(
         e = analyze_entries(c)
         t0 = time.perf_counter()
         placed = place(c, e, Strategy.GLOBAL)
-        return time.perf_counter() - t0, c
+        dt = time.perf_counter() - t0
+        # Fold the other strategies into the same context (untimed): the
+        # production batch path shares one context across strategies, and
+        # the cross-strategy reuse is where the subsumption/combinability
+        # verdict caches earn their keep — reported hit rates reflect it.
+        for strategy in (Strategy.ORIG, Strategy.EARLIEST):
+            place(c, analyze_entries(c), strategy)
+        return dt, c
 
     place_best = float("inf")
     for _ in range(repeats):
@@ -197,6 +205,7 @@ def run_bench(
     )
     payload = {
         "repeats": repeats,
+        "environment": environment_metadata(),
         "programs": programs,
         "ablation": run_ablation(synthetic_phases, repeats=repeats),
     }

@@ -1,4 +1,4 @@
-"""Cache instrumentation: cheap hit/miss counters with derived rates.
+"""Cache and runtime instrumentation: counters with derived rates.
 
 Every memoized verdict cache in the pipeline records its traffic in a
 :class:`CacheStats`, aggregated per :class:`~repro.core.context.AnalysisContext`
@@ -6,10 +6,20 @@ in a :class:`CacheStatsRegistry`.  The perf-regression harness
 (:mod:`repro.perf.bench`) reads these to report hit rates in
 ``BENCH_compile.json``; nothing else depends on them, so the counters are
 plain ints (no locks — a context is single-threaded by construction).
+
+:class:`RuntimeStats` is the execution-side counterpart: the SPMD
+executor (:mod:`repro.runtime.spmd`) counts messages, bytes, block
+copies, plan-cache traffic, and vectorized-vs-fallback statement firings
+in one; the runtime bench harness (:mod:`repro.perf.runbench`) serializes
+it into ``BENCH_spmd.json``.  :func:`environment_metadata` stamps both
+bench payloads so trajectories across machines/PRs stay comparable.
 """
 
 from __future__ import annotations
 
+import os
+import platform
+import sys
 from dataclasses import dataclass, field
 
 
@@ -59,3 +69,68 @@ class CacheStatsRegistry:
 
     def as_dict(self) -> dict[str, dict[str, float | int]]:
         return {name: s.as_dict() for name, s in sorted(self.stats.items())}
+
+
+@dataclass
+class RuntimeStats:
+    """Execution counters for one SPMD run.
+
+    The movement counters (``messages``, ``bytes_moved``, ``reductions``,
+    ``remote_reads``) are the paper's §6.1 executed-cost numbers — the
+    quantities the simulator predicts statically.  The rest instrument
+    the plan-compile-then-execute runtime itself: ``bcopy_calls`` counts
+    block extract/install operations (the runtime's unit of data
+    movement), ``plan_compiles``/``plan_cache_hits`` the communication-
+    plan cache, and ``vectorized_firings``/``fallback_firings`` how many
+    loop-nest executions ran as whole-block numpy operations versus the
+    element-wise interpreter path.
+    """
+
+    messages: int = 0
+    bytes_moved: int = 0
+    reductions: int = 0
+    remote_reads: int = 0
+    bcopy_calls: int = 0
+    elements_written: int = 0
+    plan_compiles: int = 0
+    plan_cache_hits: int = 0
+    vectorized_firings: int = 0
+    fallback_firings: int = 0
+    plan_compile_s: float = 0.0
+
+    @property
+    def plan_hit_rate(self) -> float:
+        n = self.plan_compiles + self.plan_cache_hits
+        return self.plan_cache_hits / n if n else 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "messages": self.messages,
+            "bytes_moved": self.bytes_moved,
+            "reductions": self.reductions,
+            "remote_reads": self.remote_reads,
+            "bcopy_calls": self.bcopy_calls,
+            "elements_written": self.elements_written,
+            "plan_compiles": self.plan_compiles,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_hit_rate": round(self.plan_hit_rate, 4),
+            "vectorized_firings": self.vectorized_firings,
+            "fallback_firings": self.fallback_firings,
+            "plan_compile_s": round(self.plan_compile_s, 6),
+        }
+
+
+def environment_metadata() -> dict[str, "str | int"]:
+    """The machine/interpreter fingerprint stamped into bench payloads."""
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": numpy.__version__,
+        "cpu_count": os.cpu_count() or 1,
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "hostname": platform.node(),
+        "executable": sys.executable,
+    }

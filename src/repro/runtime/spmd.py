@@ -21,41 +21,69 @@ Faithfulness points:
   detected too;
 * reductions compute per-rank partials over owned elements only, then
   combine — the paper's §6.2 inverted communication structure.
+
+Execution is plan-compiled (:mod:`repro.runtime.plans`): scalarized loop
+nests the vectorizer proves rectangular run as whole-block numpy
+operations per rank — the per-element validity, staleness, and
+remote-read accounting collapses into bulk mask/equality checks over the
+same regions — and each communication firing executes a cached
+:class:`~repro.runtime.plans.CommPlan` of flat slice copies instead of
+re-deriving partners and overlap regions.  Statements the vectorizer
+declines (and every statement when ``vectorize=False``) take the
+original element-wise path, so the two modes are mutually checking; the
+equivalence suite asserts bitwise-identical final state.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
 
 import numpy as np
 
 from ..codegen.spmd import ScheduledProgram, lower_schedule
 from ..comm.entries import CommEntry
-from ..comm.patterns import ReductionMapping, ShiftMapping
+from ..comm.patterns import ReductionMapping
 from ..core.pipeline import CompilationResult
 from ..errors import SimulationError
 from ..frontend import ast_nodes as ast
+from ..perf.stats import RuntimeStats
 from ..sections.rsd import RSD, DimSection
 from .darray import GridRank, Ownership, RankStorage, grid_ranks
 from .interp import Interpreter, initial_arrays
+from .plans import (
+    CommPlan,
+    CommPlanner,
+    ConcreteNest,
+    NestPlan,
+    PlanFallback,
+    box_slice,
+    concretize_nest,
+    eval_rhs_block,
+    plan_nests,
+    ref_np_index,
+    ref_region,
+    store_order,
+)
 
-
-@dataclass
-class SPMDStats:
-    messages: int = 0
-    bytes_moved: int = 0
-    reductions: int = 0
-    remote_reads: int = 0
+#: Backwards-compatible alias — the executor's counters moved into the
+#: shared instrumentation module alongside the compile-side CacheStats.
+SPMDStats = RuntimeStats
 
 
 class SPMDExecutor:
     """Executes one compiled program on simulated ranks."""
 
-    def __init__(self, result: CompilationResult, seed: int = 12345) -> None:
+    def __init__(
+        self,
+        result: CompilationResult,
+        seed: int = 12345,
+        vectorize: bool = True,
+    ) -> None:
         self.result = result
         self.info = result.info
         self.schedule: ScheduledProgram = lower_schedule(result)
-        self.stats = SPMDStats()
+        self.stats = RuntimeStats()
+        self.vectorize = vectorize
 
         grids = {
             layout.grid for layout in self.info.layouts.values()
@@ -99,6 +127,45 @@ class SPMDExecutor:
                 id(entry.use.ref)
             ] = entry
 
+        # Plan compilation (the inspector half): nest plans statically,
+        # communication plans lazily per concrete-section tuple.
+        self.planner = CommPlanner(
+            self.info, self.grid, self.ranks, self.ownership,
+            self._coords_for, self._shift_partner, self._rank_of,
+        )
+        self._comm_plans: dict[tuple, CommPlan] = {}
+        self.nest_plans: dict[int, NestPlan] = {}
+        self.fallback_reasons: dict[int, str] = {}
+        self._fallback_assign_sids: set[int] = set()
+        if vectorize:
+            t0 = time.perf_counter()
+            plans, fallbacks = plan_nests(self.info, self.info.program.body)
+            self.fallback_reasons.update(fallbacks)
+            anchored = set(self.schedule.anchors)
+            for sid, plan in plans.items():
+                if self._nest_has_interior_comm(plan, anchored):
+                    self.fallback_reasons[plan.assign.sid] = (
+                        "communication anchored inside the nest"
+                    )
+                    continue
+                self.nest_plans[sid] = plan
+            self._fallback_assign_sids = set(self.fallback_reasons)
+            self.stats.plan_compile_s += time.perf_counter() - t0
+
+    @staticmethod
+    def _nest_has_interior_comm(plan: NestPlan, anchors: set) -> bool:
+        """A communication firing at the loop top or anywhere inside the
+        nest forces per-iteration execution."""
+        for anchor in anchors:
+            if len(anchor) < 2:
+                continue
+            kind, sid = anchor
+            if sid in plan.interior_sids:
+                return True
+            if kind == "loop_top" and sid == plan.outer_sid:
+                return True
+        return False
+
     # -- helpers -----------------------------------------------------------
 
     def _coords_for(self, layout, gr: GridRank) -> tuple[int, ...]:
@@ -120,169 +187,79 @@ class SPMDExecutor:
     # -- communication ----------------------------------------------------------
 
     def _fire(self, anchor: tuple) -> None:
-        for op in self.schedule.ops_at(anchor):
+        ops = self.schedule.ops_at(anchor)
+        if not ops:
+            return
+        for op in ops:
             node = self.result.ctx.node_of(op.position)
-            # Combined entries share wire messages: deliveries within one
-            # operation between the same (src, dst) pair count once.
-            pairs: set[tuple[int, int]] = set()
-            for entry in op.entries:
-                pairs |= self._deliver(entry, node)
-            self.stats.messages += len(pairs)
-
-    def _deliver(self, entry: CommEntry, node) -> set[tuple[int, int]]:
-        """Move one entry's data; returns the (src, dst) rank pairs used."""
-        mapping = entry.pattern.mapping
-        if isinstance(mapping, ReductionMapping):
-            return set()  # reductions combine at their statement (§6.2)
-        section = self._concrete_section(entry, node)
-        if section.is_empty:
-            return set()
-        layout = self.info.layout(entry.array)
-        own = self.ownership[entry.array]
-        pairs: set[tuple[int, int]] = set()
-
-        if isinstance(mapping, ShiftMapping):
-            elem_shifts = dict(entry.pattern.elem_shifts)
-            axes = [a for a, s in enumerate(mapping.proc_shifts) if s != 0]
-            if len(axes) == 1:
-                return self._deliver_axis_shift(
-                    entry, section, layout, own, mapping, elem_shifts
-                )
-            # Multi-axis (diagonal) shift: pHPF subsumes it with an
-            # *augmented* exchange per axis — each phase forwards the
-            # corner data the previous phase delivered (paper §2.2).
-            return self._deliver_diagonal_shift(
-                entry, section, layout, own, mapping, elem_shifts, axes
+            sections = tuple(
+                None
+                if isinstance(entry.pattern.mapping, ReductionMapping)
+                else self._concrete_section(entry, node)
+                for entry in op.entries
             )
+            key = (id(op), sections)
+            plan = self._comm_plans.get(key)
+            if plan is None:
+                t0 = time.perf_counter()
+                plan = self.planner.compile_op(op, sections)
+                self.stats.plan_compile_s += time.perf_counter() - t0
+                self._comm_plans[key] = plan
+                self.stats.plan_compiles += 1
+            else:
+                self.stats.plan_cache_hits += 1
+            self._execute_plan(plan)
 
-        # Allgather / general.
-        return self._deliver_assemble(entry, section, layout, own)
+    def _execute_plan(self, plan: CommPlan) -> None:
+        """Run one lowered communication operation: flat slice copies.
 
-    def _deliver_assemble(
-        self, entry, section, layout, own
-    ) -> set[tuple[int, int]]:
-        """Assemble the section from its owners and install it on every
-        rank (allgather/general semantics)."""
-        pairs: set[tuple[int, int]] = set()
-        parts: list[tuple[int, RSD, np.ndarray]] = []
-        for gr in self.ranks:
-            owned = own.owned_rsd(self._coords_for(layout, gr))
-            piece = section.intersect(owned)
-            if piece.is_empty:
-                continue
-            values = self.storage[gr.rank][entry.array].extract(piece)
-            self._verify_fresh(entry.array, piece, values)
-            parts.append((gr.rank, piece, values))
-        for gr in self.ranks:
-            for src_rank, piece, values in parts:
-                self.storage[gr.rank][entry.array].install(piece, values)
-                if src_rank != gr.rank:
-                    pairs.add((src_rank, gr.rank))
-                    self.stats.bytes_moved += values.size * layout.elem_bytes
-        return pairs
-
-    def _deliver_axis_shift(
-        self, entry, section, layout, own, mapping, elem_shifts
-    ) -> set[tuple[int, int]]:
-        """Single-axis shift: each rank receives its shifted needs from
-        the partner along the one moving axis."""
-        pairs: set[tuple[int, int]] = set()
-        for gr in self.ranks:
-            src_coords = self._shift_partner(
-                layout, gr.coords, mapping.proc_shifts
-            )
-            if src_coords is None:
-                continue  # boundary: no partner in this direction
-            needs = own.shifted_needs(gr.coords, elem_shifts)
-            recv = section.intersect(needs).intersect(own.owned_rsd(src_coords))
-            if recv.is_empty:
-                continue
-            src_rank = self._rank_of(src_coords)
-            values = self.storage[src_rank][entry.array].extract(recv)
-            self._verify_fresh(entry.array, recv, values)
-            self.storage[gr.rank][entry.array].install(recv, values)
-            pairs.add((src_rank, gr.rank))
-            self.stats.bytes_moved += values.size * layout.elem_bytes
-        return pairs
-
-    def _deliver_diagonal_shift(
-        self, entry, section, layout, own, mapping, elem_shifts, axes
-    ) -> set[tuple[int, int]]:
-        """Diagonal shift via sequential augmented axis exchanges.
-
-        Each rank's target is the section clipped to its full halo *box*
-        (including corners).  Phase k moves data along one axis only;
-        sources may forward what earlier phases delivered to them, which
-        is exactly how the corner value travels two hops.
-        """
-        from ..distribution.layout import DistFormat
-
-        # Cyclic dims interleave owners; the augmented-band scheme below
-        # is block-halo specific, so assemble instead (correct, if less
-        # message-faithful — diagonal shifts on CYCLIC layouts are rare).
-        for dim in elem_shifts:
-            if layout.dims[dim].format is DistFormat.CYCLIC:
-                return self._deliver_assemble(entry, section, layout, own)
-
-        pairs: set[tuple[int, int]] = set()
-        boxes = {
-            gr.rank: section.intersect(own.halo_band(gr.coords, elem_shifts))
-            for gr in self.ranks
-        }
-        # Eligibility: owned data plus anything this delivery already
-        # moved (never pre-existing halo, which might be stale).
-        eligible = {}
-        for gr in self.ranks:
-            mask = np.zeros(layout.shape, dtype=bool)
-            owned = own.owned_rsd(self._coords_for(layout, gr))
-            if not owned.is_empty:
-                mask[tuple(slice(d.lo - 1, d.hi, d.step) for d in owned.dims)] = True
-            eligible[gr.rank] = mask
-
-        for axis in axes:
-            phase_shift = tuple(
-                s if a == axis else 0 for a, s in enumerate(mapping.proc_shifts)
-            )
-            updates = []
-            for gr in self.ranks:
-                src_coords = self._shift_partner(layout, gr.coords, phase_shift)
-                if src_coords is None:
-                    continue
-                box = boxes[gr.rank]
-                if box.is_empty:
-                    continue
-                src_rank = self._rank_of(src_coords)
-                idx = tuple(slice(d.lo - 1, d.hi, d.step) for d in box.dims)
-                take = eligible[src_rank][idx] & ~eligible[gr.rank][idx]
-                if not take.any():
-                    continue
-                src_store = self.storage[src_rank][entry.array]
-                if not src_store.valid[idx][take].all():
+        Combined entries share wire messages — the plan's pair set counts
+        deliveries between the same (src, dst) once per operation."""
+        for t in plan.transfers:
+            store = self.storage[t.src][t.array]
+            if t.mask is None:
+                if not store.valid[t.index].all():
                     raise SimulationError(
-                        f"diagonal forwarding of {entry.array}: source rank "
-                        f"{src_rank} missing forwarded data"
+                        f"extracting invalid data from {t.array} {t.region}"
                     )
-                values = src_store.values[idx][take]
-                expected = self.shadow.arrays[entry.array][idx][take]
+                values = store.values[t.index]
+                expected = self.shadow.arrays[t.array][t.index]
                 if not np.array_equal(values, expected):
                     raise SimulationError(
-                        f"stale data shipped for {entry.array} (diagonal phase)"
+                        f"stale data shipped for {t.array} {t.region}: sender "
+                        f"holds values that disagree with the sequential "
+                        f"semantics"
                     )
-                updates.append((gr.rank, src_rank, idx, take, values))
-            for dst_rank, src_rank, idx, take, values in updates:
-                store = self.storage[dst_rank][entry.array]
-                region_vals = store.values[idx]
-                region_valid = store.valid[idx]
+                values = values.copy()
+                for dst in t.dsts:
+                    target = self.storage[dst][t.array]
+                    target.values[t.index] = values
+                    target.valid[t.index] = True
+                self.stats.bcopy_calls += 1 + len(t.dsts)
+            else:
+                take = t.mask
+                if not store.valid[t.index][take].all():
+                    raise SimulationError(
+                        f"diagonal forwarding of {t.array}: source rank "
+                        f"{t.src} missing forwarded data"
+                    )
+                values = store.values[t.index][take]
+                expected = self.shadow.arrays[t.array][t.index][take]
+                if not np.array_equal(values, expected):
+                    raise SimulationError(
+                        f"stale data shipped for {t.array} (diagonal phase)"
+                    )
+                (dst,) = t.dsts
+                target = self.storage[dst][t.array]
+                region_vals = target.values[t.index]
+                region_valid = target.valid[t.index]
                 region_vals[take] = values
                 region_valid[take] = True
-                store.values[idx] = region_vals
-                store.valid[idx] = region_valid
-                elig = eligible[dst_rank][idx]
-                elig[take] = True
-                eligible[dst_rank][idx] = elig
-                pairs.add((src_rank, dst_rank))
-                self.stats.bytes_moved += int(take.sum()) * layout.elem_bytes
-        return pairs
+                target.values[t.index] = region_vals
+                target.valid[t.index] = region_valid
+                self.stats.bcopy_calls += 2
+        self.stats.messages += len(plan.wire_pairs)
+        self.stats.bytes_moved += plan.wire_bytes
 
     def _shift_partner(
         self, layout, coords: tuple[int, ...], proc_shifts: tuple[int, ...]
@@ -325,7 +302,7 @@ class SPMDExecutor:
 
     # -- statement execution -------------------------------------------------
 
-    def run(self) -> SPMDStats:
+    def run(self) -> RuntimeStats:
         self._fire(("start",))
         self._exec_body(self.info.program.body)
         self._fire(("end",))
@@ -336,16 +313,20 @@ class SPMDExecutor:
             self._fire(("before_stmt", stmt.sid))
             if isinstance(stmt, ast.Assign):
                 self._exec_assign(stmt)
+                if stmt.sid in self._fallback_assign_sids:
+                    self.stats.fallback_firings += 1
             elif isinstance(stmt, ast.Do):
                 self._fire(("loop_pre", stmt.sid))
-                lo = self.shadow.eval_index(stmt.lo)
-                hi = self.shadow.eval_index(stmt.hi)
-                step = self.shadow.eval_index(stmt.step)
-                for value in range(lo, hi + 1, step):
-                    self.shadow.env[stmt.var] = float(value)
-                    self._fire(("loop_top", stmt.sid))
-                    self._exec_body(stmt.body)
-                self.shadow.env.pop(stmt.var, None)
+                plan = self.nest_plans.get(stmt.sid)
+                if plan is None or not self._try_exec_nest(plan):
+                    lo = self.shadow.eval_index(stmt.lo)
+                    hi = self.shadow.eval_index(stmt.hi)
+                    step = self.shadow.eval_index(stmt.step)
+                    for value in range(lo, hi + 1, step):
+                        self.shadow.env[stmt.var] = float(value)
+                        self._fire(("loop_top", stmt.sid))
+                        self._exec_body(stmt.body)
+                    self.shadow.env.pop(stmt.var, None)
                 self._fire(("loop_post", stmt.sid))
             elif isinstance(stmt, ast.If):
                 if bool(self.shadow.eval_expr(stmt.cond)):
@@ -353,6 +334,133 @@ class SPMDExecutor:
                 else:
                     self._exec_body(stmt.else_body)
             self._fire(("after_stmt", stmt.sid))
+
+    # -- vectorized nest execution ----------------------------------------------
+
+    def _try_exec_nest(self, plan: NestPlan) -> bool:
+        """Execute a planned nest as block operations; False reverts the
+        caller to the element-wise loop (dynamic fallback)."""
+        try:
+            conc = concretize_nest(plan, self._env_ints(), self.info)
+        except PlanFallback:
+            self.stats.fallback_firings += 1
+            return False
+        if conc is None:
+            return True  # empty iteration space: nothing to do
+        full = conc.full_box()
+        name = conc.lhs.name
+        layout = self.info.layout(name)
+
+        # Ground-truth block from the sequential shadow.  Every rank's
+        # reads are verified valid *and* equal to the shadow below, so
+        # the owner-computed block is necessarily this block — writing it
+        # preserves the element-wise path's values bit for bit while
+        # keeping the full validation.
+        shadow_block = np.broadcast_to(
+            np.asarray(
+                eval_rhs_block(conc, full, self.shadow.arrays,
+                               self.shadow._lookup),
+                dtype=np.float64,
+            ),
+            conc.shape,
+        )
+
+        if not layout.distributed_dims:
+            # Replicated array: every rank reads (checked) and stores the
+            # whole region.  Divergence across ranks is impossible once
+            # each rank's reads are pinned to the shadow, which is what
+            # the element-wise path's cross-rank comparison established.
+            lhs_idx = ref_np_index(conc.lhs, full)
+            value = store_order(shadow_block, conc.lhs)
+            for gr in self.ranks:
+                self._check_nest_reads(conc, full, gr)
+                store = self.storage[gr.rank][name]
+                store.values[lhs_idx] = value
+                store.valid[lhs_idx] = True
+            self.stats.bcopy_calls += len(self.ranks)
+        else:
+            # Owner-computes: each rank executes the sub-box of iterations
+            # whose written elements it owns.
+            own = self.ownership[name]
+            for gr in self.ranks:
+                owned = own.owned_rsd(self._coords_for(layout, gr))
+                from .plans import rank_kbox
+
+                kbox = rank_kbox(conc, owned)
+                if kbox is None:
+                    continue
+                self._check_nest_reads(conc, kbox, gr)
+                lhs_idx = ref_np_index(conc.lhs, kbox)
+                store = self.storage[gr.rank][name]
+                store.values[lhs_idx] = store_order(
+                    shadow_block[box_slice(kbox)], conc.lhs
+                )
+                store.valid[lhs_idx] = True
+                self.stats.bcopy_calls += 1
+
+        # Advance the shadow by the same block.
+        self.shadow.arrays[name][ref_np_index(conc.lhs, full)] = store_order(
+            shadow_block, conc.lhs
+        )
+        self.stats.vectorized_firings += 1
+        total = 1
+        for count in conc.shape:
+            total *= count
+        self.stats.elements_written += total
+        return True
+
+    def _check_nest_reads(
+        self, conc: ConcreteNest, kbox, gr: GridRank
+    ) -> None:
+        """Bulk form of the per-element read checks: every element each
+        RHS reference touches over ``kbox`` must be valid on the rank and
+        agree with the sequential shadow; remote reads are counted with
+        the same per-iteration semantics as the element-wise path."""
+        sid = conc.plan.assign.sid
+        for rid, cref in conc.refs.items():
+            idx = ref_np_index(cref, kbox)
+            store = self.storage[gr.rank][cref.name]
+            if not np.all(store.valid[idx]):
+                raise SimulationError(
+                    f"read of {cref.name} at s{sid}: elements not present on "
+                    f"rank {gr.rank} (missing or misplaced communication)"
+                )
+            if not np.array_equal(
+                store.values[idx], self.shadow.arrays[cref.name][idx]
+            ):
+                raise SimulationError(
+                    f"rank {gr.rank} read stale {cref.name} at s{sid}: rank "
+                    f"data disagrees with the sequential semantics"
+                )
+            # remote_reads: one count per iteration whose element lives on
+            # another rank; iterations over axes the reference does not
+            # carry re-read the same element.
+            layout = self.info.layout(cref.name)
+            own = self.ownership[cref.name]
+            region = ref_region(cref, kbox)
+            owned = self._owner_semantics_region(layout, own, gr)
+            local = region.intersect(owned).count() if owned is not None else 0
+            repeat = 1
+            for axis, (_, _, kcount) in enumerate(kbox):
+                if axis not in cref.axes:
+                    repeat *= kcount
+            self.stats.remote_reads += (region.count() - local) * repeat
+
+    def _owner_semantics_region(self, layout, own: Ownership, gr: GridRank):
+        """The region whose ``owner_rank_coords`` equal this rank's — the
+        element-wise path's locality test.  Grid axes no dimension maps
+        to default to coordinate 0 there, so ranks elsewhere on such an
+        axis own nothing under that test (returns None)."""
+        coords = self._coords_for(layout, gr)
+        referenced = {
+            m.grid_axis for m in layout.dims if m.grid_axis is not None
+        }
+        for axis, coord in enumerate(coords):
+            if axis not in referenced and coord != 0:
+                return None
+        return own.owned_rsd(coords)
+
+    # -- element-wise statement execution ---------------------------------------
 
     def _exec_assign(self, stmt: ast.Assign) -> None:
         reductions = self._compute_reductions(stmt)
@@ -518,11 +626,12 @@ class SPMDExecutor:
 
 
 def execute_spmd(
-    result: CompilationResult, seed: int = 12345
-) -> tuple[dict[str, np.ndarray], SPMDStats]:
+    result: CompilationResult, seed: int = 12345, vectorize: bool = True
+) -> tuple[dict[str, np.ndarray], RuntimeStats]:
     """Run a compiled program on simulated ranks; returns the assembled
     final state and movement statistics.  Raises on any missing-data or
-    staleness violation."""
-    executor = SPMDExecutor(result, seed)
+    staleness violation.  ``vectorize=False`` forces the element-wise
+    reference path for every statement."""
+    executor = SPMDExecutor(result, seed, vectorize=vectorize)
     stats = executor.run()
     return executor.assemble(), stats

@@ -81,6 +81,22 @@ def test_cache_stats_track_lookups_only_when_enabled():
         assert stats["hits"] == 0 and stats["misses"] == 0
 
 
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_subsumes_cache_hits_across_strategies(name):
+    """The subsumption verdict cache is keyed canonically (Use-identity
+    pair + hash-consed section pair), so the shared-context multi-strategy
+    compile must actually reuse verdicts — a nonzero hit rate on every
+    benchmark.  Guards against regressing to a dead cache key."""
+    from repro.core.pipeline import compile_all_strategies
+
+    results = compile_all_strategies(BENCHMARKS[name], options=CACHED)
+    ctx = next(iter(results.values())).ctx
+    # Strategies share one context by construction.
+    assert all(r.ctx is ctx for r in results.values())
+    subs = ctx.cache_stats.as_dict().get("subsumes")
+    assert subs is not None and subs["hits"] > 0, subs
+
+
 # -- dominator depth table ---------------------------------------------------
 
 

@@ -232,6 +232,27 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.transport:
+        from .perf.transportbench import (
+            DEFAULT_BACKENDS,
+            format_transport_bench,
+            write_transport_bench,
+        )
+
+        output = args.output
+        if output == "BENCH_compile.json":  # default belongs to compile mode
+            output = "BENCH_transport.json"
+        backends = (
+            tuple(b.strip() for b in args.backends.split(",") if b.strip())
+            if args.backends else DEFAULT_BACKENDS
+        )
+        payload = write_transport_bench(
+            path=output, quick=args.quick, backends=backends
+        )
+        print(format_transport_bench(payload))
+        print(f"\nwrote {output}")
+        return 0 if payload["ok"] else 1
+
     if args.spmd:
         from .perf.runbench import format_spmd_bench, write_spmd_bench
 
@@ -355,8 +376,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--spmd", action="store_true",
                    help="runtime benchmark instead: vectorized vs "
                         "element-wise SPMD execution; writes BENCH_spmd.json")
+    p.add_argument("--transport", action="store_true",
+                   help="message-passing benchmark instead: run every "
+                        "program on each transport backend, calibrate the "
+                        "machine model, verify bitwise identity; writes "
+                        "BENCH_transport.json")
+    p.add_argument("--backends", default=None, metavar="LIST",
+                   help="with --transport: comma-separated backend subset "
+                        "(default inline,threaded,multiprocess)")
     p.add_argument("--quick", action="store_true",
-                   help="with --spmd: small problem sizes for CI smoke runs")
+                   help="with --spmd/--transport: small problem sizes for "
+                        "CI smoke runs")
     p.set_defaults(func=cmd_bench)
     return parser
 

@@ -229,6 +229,13 @@ def write_bench(
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
+    from .history import append_history, compile_headline
+    import os
+
+    append_history(
+        "compile", compile_headline(payload),
+        directory=os.path.dirname(os.path.abspath(path)),
+    )
     return payload
 
 

@@ -1,0 +1,122 @@
+"""Bench history: one-line JSONL records per benchmark run.
+
+Every ``repro bench`` variant (compile, ``--spmd``, ``--transport``)
+appends a single-line record to ``BENCH_history.jsonl`` next to the JSON
+payload it writes: the git commit, a UTC timestamp, the bench kind, and
+that kind's headline numbers.  The file is append-only and one JSON
+object per line, so benchmark trajectories across commits can be
+reconstructed with a one-line ``jq``/pandas read — no database, no
+parsing of full payloads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from datetime import datetime, timezone
+from typing import Any
+
+HISTORY_FILE = "BENCH_history.jsonl"
+
+
+def git_commit() -> str | None:
+    """The current commit hash, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def history_record(kind: str, headline: dict[str, Any]) -> dict[str, Any]:
+    """A one-line record: commit + timestamp + the bench's headline."""
+    return {
+        "kind": kind,
+        "commit": git_commit(),
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        **headline,
+    }
+
+
+def append_history(
+    kind: str,
+    headline: dict[str, Any],
+    path: str | None = None,
+    directory: str | None = None,
+) -> dict[str, Any]:
+    """Append one record to the history file (created on first use).
+    ``directory`` places the file next to a bench output written
+    elsewhere; an explicit ``path`` wins."""
+    if path is None:
+        path = os.path.join(directory or ".", HISTORY_FILE)
+    record = history_record(kind, headline)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+# -- headline extractors ------------------------------------------------------
+#
+# One per bench payload shape: compress the full JSON into the few
+# numbers worth plotting across commits.
+
+
+def compile_headline(payload: dict[str, Any]) -> dict[str, Any]:
+    programs = payload.get("programs", {})
+    ab = payload.get("ablation", {})
+    return {
+        "programs": len(programs),
+        "total_s": round(
+            sum(p.get("total_s", 0.0) for p in programs.values()), 4
+        ),
+        "ablation_speedup": ab.get("speedup"),
+    }
+
+
+def spmd_headline(payload: dict[str, Any]) -> dict[str, Any]:
+    programs = payload.get("programs", {})
+    speedups = [
+        p["speedup"] for p in programs.values()
+        if p.get("speedup") is not None
+    ]
+    return {
+        "mode": payload.get("mode"),
+        "strategy": payload.get("strategy"),
+        "programs": len(programs),
+        "ok": payload.get("ok"),
+        "vec_wall_s": round(
+            sum(p["vectorized"]["wall_s"] for p in programs.values()), 4
+        ),
+        "median_speedup": (
+            round(sorted(speedups)[len(speedups) // 2], 2)
+            if speedups else None
+        ),
+    }
+
+
+def transport_headline(payload: dict[str, Any]) -> dict[str, Any]:
+    backends = payload.get("backends", {})
+    cal = payload.get("calibration", {})
+    return {
+        "mode": payload.get("mode"),
+        "ok": payload.get("ok"),
+        "backends": sorted(backends),
+        "wall_s": {
+            b: round(sum(
+                prog["wall_s"] for prog in info["programs"].values()
+            ), 4)
+            for b, info in backends.items()
+        },
+        "calibrated_bandwidth_bps": {
+            b: round(c["bandwidth_bps"])
+            for b, c in cal.items() if isinstance(c, dict)
+        },
+    }

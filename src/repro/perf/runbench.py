@@ -181,6 +181,14 @@ def write_spmd_bench(
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
+    import os
+
+    from .history import append_history, spmd_headline
+
+    append_history(
+        "spmd", spmd_headline(payload),
+        directory=os.path.dirname(os.path.abspath(path)),
+    )
     return payload
 
 

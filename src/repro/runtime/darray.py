@@ -144,11 +144,23 @@ class RankStorage:
     mask.  Reads outside the valid region are the runtime face of a
     placement bug."""
 
-    def __init__(self, array: str, shape: tuple[int, ...]) -> None:
+    def __init__(
+        self,
+        array: str,
+        shape: tuple[int, ...],
+        buffers: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> None:
         self.array = array
         self.shape = shape
-        self.values = np.zeros(shape)
-        self.valid = np.zeros(shape, dtype=bool)
+        if buffers is None:
+            self.values = np.zeros(shape)
+            self.valid = np.zeros(shape, dtype=bool)
+        else:
+            # Transport-allocated storage (e.g. shared-memory views): the
+            # executor and the transport workers must see the same bytes.
+            self.values, self.valid = buffers
+            assert self.values.shape == shape
+            assert self.valid.shape == shape and self.valid.dtype == bool
 
     @staticmethod
     def _np_index(rsd: RSD):

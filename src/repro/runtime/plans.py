@@ -510,7 +510,14 @@ class PlannedTransfer:
     """One block move: extract ``index`` from rank ``src``'s storage and
     install it on every rank in ``dsts``.  ``mask`` (diagonal augmented
     exchanges only) restricts the move to the eligible elements of the
-    indexed box; masked transfers have exactly one destination."""
+    indexed box; masked transfers have exactly one destination.
+
+    ``nbytes`` is the per-destination payload size on the wire and
+    ``phase`` the execution round: a transfer in phase ``k`` may read
+    data delivered by phases ``< k`` (the diagonal augmented exchanges
+    forward corner data), so a message-passing backend must order
+    phases with a barrier between them.
+    """
 
     array: str
     src: int
@@ -518,6 +525,8 @@ class PlannedTransfer:
     index: tuple
     region: RSD | None = None
     mask: np.ndarray | None = None
+    nbytes: int = 0
+    phase: int = 0
 
 
 @dataclass
@@ -528,6 +537,17 @@ class CommPlan:
     transfers: list[PlannedTransfer]
     wire_pairs: frozenset[tuple[int, int]]
     wire_bytes: int
+
+    def pair_bytes(self) -> dict[tuple[int, int], int]:
+        """Plan-time per-pair wire bytes (self-deliveries excluded) —
+        the ground truth transport-measured traffic is checked against."""
+        out: dict[tuple[int, int], int] = {}
+        for t in self.transfers:
+            for dst in t.dsts:
+                if dst != t.src:
+                    key = (t.src, dst)
+                    out[key] = out.get(key, 0) + t.nbytes
+        return out
 
 
 def _np_index(rsd: RSD):
@@ -600,14 +620,15 @@ class CommPlanner:
             piece = section.intersect(owned)
             if piece.is_empty:
                 continue
+            size = piece.count()
             transfers.append(PlannedTransfer(
                 array=entry.array,
                 src=gr.rank,
                 dsts=all_ranks,
                 index=_np_index(piece),
                 region=piece,
+                nbytes=size * layout.elem_bytes,
             ))
-            size = piece.count()
             for dst in all_ranks:
                 if dst != gr.rank:
                     pairs.add((gr.rank, dst))
@@ -640,6 +661,7 @@ class CommPlanner:
                 dsts=(gr.rank,),
                 index=_np_index(recv),
                 region=recv,
+                nbytes=recv.count() * layout.elem_bytes,
             ))
             pairs.add((src_rank, gr.rank))
             nbytes += recv.count() * layout.elem_bytes
@@ -673,7 +695,7 @@ class CommPlanner:
                 mask[_np_index(owned)] = True
             eligible[gr.rank] = mask
 
-        for axis in axes:
+        for phase_no, axis in enumerate(axes):
             phase_shift = tuple(
                 s if a == axis else 0
                 for a, s in enumerate(mapping.proc_shifts)
@@ -701,6 +723,8 @@ class CommPlanner:
                     dsts=(dst_rank,),
                     index=idx,
                     mask=take,
+                    nbytes=int(take.sum()) * layout.elem_bytes,
+                    phase=phase_no,
                 ))
                 elig = eligible[dst_rank][idx]
                 elig[take] = True

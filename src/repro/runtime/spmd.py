@@ -48,6 +48,8 @@ from ..errors import SimulationError
 from ..frontend import ast_nodes as ast
 from ..perf.stats import RuntimeStats
 from ..sections.rsd import RSD, DimSection
+from ..transport import TransportError, make_transport
+from ..transport.lowering import LoweredComm, lower_comm
 from .darray import GridRank, Ownership, RankStorage, grid_ranks
 from .interp import Interpreter, initial_arrays
 from .plans import (
@@ -78,12 +80,16 @@ class SPMDExecutor:
         result: CompilationResult,
         seed: int = 12345,
         vectorize: bool = True,
+        transport: "str | None" = None,
+        collectives: bool = True,
+        watchdog_s: float = 30.0,
     ) -> None:
         self.result = result
         self.info = result.info
         self.schedule: ScheduledProgram = lower_schedule(result)
         self.stats = RuntimeStats()
         self.vectorize = vectorize
+        self.collectives = collectives
 
         grids = {
             layout.grid for layout in self.info.layouts.values()
@@ -96,6 +102,14 @@ class SPMDExecutor:
         self.grid = grids.pop() if grids else self.info.default_grid
         self.ranks: list[GridRank] = grid_ranks(self.grid.shape)
 
+        # Optional message-passing backend.  None keeps the legacy
+        # direct-copy data path byte for byte.
+        self.transport = make_transport(
+            transport, len(self.ranks), watchdog_s=watchdog_s
+        )
+        self.wire = self.transport.stats if self.transport else None
+        self._lowered: dict[int, LoweredComm] = {}
+
         # Sequential shadow: the ground truth every delivered value is
         # checked against.
         self.shadow = Interpreter(self.info, seed)
@@ -104,17 +118,29 @@ class SPMDExecutor:
             name: Ownership(layout) for name, layout in self.info.layouts.items()
         }
         init = initial_arrays(self.info, seed)
+        buffers = None
+        if self.transport is not None:
+            buffers = self.transport.create_storage(
+                (gr.rank, name, layout.shape)
+                for gr in self.ranks
+                for name, layout in self.info.layouts.items()
+            )
         self.storage: dict[int, dict[str, RankStorage]] = {}
         for gr in self.ranks:
             per_rank: dict[str, RankStorage] = {}
             for name, layout in self.info.layouts.items():
-                store = RankStorage(name, layout.shape)
+                store = RankStorage(
+                    name, layout.shape,
+                    buffers[(gr.rank, name)] if buffers is not None else None,
+                )
                 owned = self.ownership[name].owned_rsd(
                     self._coords_for(layout, gr)
                 )
                 store.install(owned, init[name][store._np_index(owned)])
                 per_rank[name] = store
             self.storage[gr.rank] = per_rank
+        if self.transport is not None:
+            self.transport.start(self.storage)
 
         self._uses_by_sid: dict[int, dict[int, CommEntry]] = {}
         self._covering: dict[int, CommEntry] = {}
@@ -198,7 +224,10 @@ class SPMDExecutor:
                 else self._concrete_section(entry, node)
                 for entry in op.entries
             )
-            key = (id(op), sections)
+            # The grid shape is part of the key: a plan's ranks, partners
+            # and overlap regions are all grid-relative, so plans must
+            # never be shared across different rank-grid shapes.
+            key = (self.grid.shape, id(op), sections)
             plan = self._comm_plans.get(key)
             if plan is None:
                 t0 = time.perf_counter()
@@ -208,13 +237,17 @@ class SPMDExecutor:
                 self.stats.plan_compiles += 1
             else:
                 self.stats.plan_cache_hits += 1
-            self._execute_plan(plan)
+            self._execute_plan(plan, op.kind)
 
-    def _execute_plan(self, plan: CommPlan) -> None:
-        """Run one lowered communication operation: flat slice copies.
+    def _execute_plan(self, plan: CommPlan, kind: str = "general") -> None:
+        """Run one lowered communication operation: flat slice copies
+        (legacy path) or real sends through the transport backend.
 
         Combined entries share wire messages — the plan's pair set counts
         deliveries between the same (src, dst) once per operation."""
+        if self.transport is not None:
+            self._execute_plan_transport(plan, kind)
+            return
         for t in plan.transfers:
             store = self.storage[t.src][t.array]
             if t.mask is None:
@@ -260,6 +293,105 @@ class SPMDExecutor:
                 self.stats.bcopy_calls += 2
         self.stats.messages += len(plan.wire_pairs)
         self.stats.bytes_moved += plan.wire_bytes
+
+    # -- transport execution ---------------------------------------------------
+
+    def _execute_plan_transport(self, plan: CommPlan, kind: str) -> None:
+        """Execute one plan as real messages: lower to a collective
+        schedule (cached per plan), run the validity/staleness oracle
+        over the rounds, dispatch to the backend, then cross-check the
+        measured wire traffic against the lowering's prediction exactly."""
+        lowered = self._lowered.get(id(plan))
+        if lowered is None:
+            t0 = time.perf_counter()
+            lowered = lower_comm(
+                kind, plan, len(self.ranks), collectives=self.collectives
+            )
+            self.stats.plan_compile_s += time.perf_counter() - t0
+            self._lowered[id(plan)] = lowered
+        self._precheck_lowered(lowered)
+        receipt = self.transport.execute(lowered)
+        if receipt.pair_bytes != lowered.predicted_pairs:
+            raise TransportError(
+                f"wire accounting mismatch ({lowered.algorithm}): measured "
+                f"per-pair bytes {receipt.pair_bytes} != predicted "
+                f"{lowered.predicted_pairs}"
+            )
+        if receipt.pair_msgs != lowered.predicted_msgs:
+            raise TransportError(
+                f"wire accounting mismatch ({lowered.algorithm}): measured "
+                f"per-pair messages {receipt.pair_msgs} != predicted "
+                f"{lowered.predicted_msgs}"
+            )
+        # Keep the plan-level counters the element-wise path reports, so
+        # RuntimeStats stays comparable across execution modes; the raw
+        # measured traffic lives in ``self.wire``.
+        self.stats.messages += len(plan.wire_pairs)
+        self.stats.bytes_moved += plan.wire_bytes
+
+    def _precheck_lowered(self, lowered: LoweredComm) -> None:
+        """The legacy path's validity and staleness oracle, round-aware.
+
+        Sends in round ``r`` may legitimately forward data delivered in
+        rounds ``< r`` (diagonal phases, ring forwarding), which is not
+        in the sender's storage yet when this runs — so we simulate
+        delivery with an overlay mask.  Overlay-delivered elements are
+        shadow-equal by induction (their original source was checked
+        here when it sent), so the value comparison applies only to
+        elements the sender holds for real and that no earlier round
+        overwrote."""
+        sim: dict[tuple[int, str], np.ndarray] = {}
+        for rnd in lowered.rounds:
+            for s in rnd:
+                store = self.storage[s.src][s.array]
+                region_valid = store.valid[s.index]
+                overlay = sim.get((s.src, s.array))
+                delivered = (
+                    overlay[s.index] if overlay is not None
+                    else np.zeros_like(region_valid)
+                )
+                take = (
+                    s.mask if s.mask is not None
+                    else np.ones(region_valid.shape, dtype=bool)
+                )
+                if not (region_valid | delivered)[take].all():
+                    raise SimulationError(
+                        f"extracting invalid data from {s.array} "
+                        f"(rank {s.src}, {lowered.algorithm})"
+                    )
+                check = take & region_valid & ~delivered
+                if check.any() and not np.array_equal(
+                    store.values[s.index][check],
+                    self.shadow.arrays[s.array][s.index][check],
+                ):
+                    raise SimulationError(
+                        f"stale data shipped for {s.array}: sender holds "
+                        f"values that disagree with the sequential semantics"
+                    )
+            for s in rnd:
+                overlay = sim.get((s.dst, s.array))
+                if overlay is None:
+                    overlay = sim[(s.dst, s.array)] = np.zeros(
+                        self.storage[s.dst][s.array].shape, dtype=bool
+                    )
+                region = overlay[s.index]
+                if s.mask is None:
+                    region[...] = True
+                else:
+                    region[s.mask] = True
+                overlay[s.index] = region
+
+    def close(self) -> None:
+        """Release the transport backend (workers, shared memory).
+        Idempotent; a no-op for the legacy direct-copy path."""
+        if self.transport is not None:
+            self.transport.shutdown()
+
+    def __enter__(self) -> "SPMDExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def _shift_partner(
         self, layout, coords: tuple[int, ...], proc_shifts: tuple[int, ...]
@@ -520,7 +652,7 @@ class SPMDExecutor:
             layout = self.info.layout(ref.name)
             own = self.ownership[ref.name]
             section = self._section_of_ref(ref)
-            partials = []
+            pieces: dict[int, np.ndarray] = {}
             for gr in self.ranks:
                 piece = section.intersect(
                     own.owned_rsd(self._coords_for(layout, gr))
@@ -529,16 +661,26 @@ class SPMDExecutor:
                     continue
                 values = self.storage[gr.rank][ref.name].extract(piece)
                 self._verify_fresh(ref.name, piece, values)
-                partials.append(values)
-            if not partials:
+                pieces[gr.rank] = values
+            if not pieces:
                 raise SimulationError(f"reduction over empty section {ref}")
-            flat = np.concatenate([p.ravel() for p in partials])
-            if node.op == "SUM":
-                out[id(node)] = float(flat.sum())
-            elif node.op == "MAX":
-                out[id(node)] = float(flat.max())
+            if self.transport is not None:
+                # Gather tree + broadcast through the backend; the
+                # combine order is canonical (rank-sorted), so the value
+                # is bit-identical to the concatenation below.
+                out[id(node)], _receipt = self.transport.reduce(
+                    pieces, node.op
+                )
             else:
-                out[id(node)] = float(flat.min())
+                flat = np.concatenate(
+                    [pieces[r].ravel() for r in sorted(pieces)]
+                )
+                if node.op == "SUM":
+                    out[id(node)] = float(flat.sum())
+                elif node.op == "MAX":
+                    out[id(node)] = float(flat.max())
+                else:
+                    out[id(node)] = float(flat.min())
             self.stats.reductions += 1
             self.stats.messages += max(
                 0, 2 * int(np.ceil(np.log2(max(len(self.ranks), 2))))
@@ -626,12 +768,26 @@ class SPMDExecutor:
 
 
 def execute_spmd(
-    result: CompilationResult, seed: int = 12345, vectorize: bool = True
+    result: CompilationResult,
+    seed: int = 12345,
+    vectorize: bool = True,
+    transport: "str | None" = None,
+    collectives: bool = True,
+    watchdog_s: float = 30.0,
 ) -> tuple[dict[str, np.ndarray], RuntimeStats]:
     """Run a compiled program on simulated ranks; returns the assembled
     final state and movement statistics.  Raises on any missing-data or
     staleness violation.  ``vectorize=False`` forces the element-wise
-    reference path for every statement."""
-    executor = SPMDExecutor(result, seed, vectorize=vectorize)
-    stats = executor.run()
-    return executor.assemble(), stats
+    reference path for every statement; ``transport`` selects a real
+    message-passing backend (``inline``/``threaded``/``multiprocess``)
+    instead of the default direct-copy data path."""
+    executor = SPMDExecutor(
+        result, seed, vectorize=vectorize, transport=transport,
+        collectives=collectives, watchdog_s=watchdog_s,
+    )
+    try:
+        stats = executor.run()
+        arrays = executor.assemble()
+    finally:
+        executor.close()
+    return arrays, stats

@@ -1,0 +1,87 @@
+"""Message-passing transport layer.
+
+Executes the communication plans of a compiled SPMD program as real
+sends and receives through a pluggable :class:`~repro.transport.base.
+Transport` interface:
+
+* ``inline`` — deterministic sequential reference backend;
+* ``threaded`` — one worker thread per rank over lock-free per-pair
+  queues with a real barrier;
+* ``multiprocess`` — one OS process per rank over
+  ``multiprocessing.shared_memory``.
+
+:mod:`repro.transport.lowering` turns classified plans into collective
+schedules (neighbor exchange, ring allgather, combining-tree
+reductions); every backend records wire-level accounting that the
+executor cross-checks against the plan-time predictions exactly.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    DeadlockError,
+    OpReceipt,
+    RankOpStats,
+    Transport,
+    TransportError,
+    WireStats,
+)
+from .inline import InlineTransport
+from .lowering import (
+    LoweredComm,
+    ReduceLowering,
+    SendOp,
+    lower_comm,
+    lower_reduction,
+    reduction_tree,
+)
+from .mp import MultiprocessTransport
+from .threaded import ThreadedTransport
+
+#: Backend registry: name -> Transport subclass.
+BACKENDS = {
+    InlineTransport.name: InlineTransport,
+    ThreadedTransport.name: ThreadedTransport,
+    MultiprocessTransport.name: MultiprocessTransport,
+}
+
+
+def make_transport(
+    spec: "str | Transport | None", nranks: int, watchdog_s: float = 30.0
+) -> Transport | None:
+    """Resolve a transport spec: ``None`` (keep the legacy direct-copy
+    path), a backend name from :data:`BACKENDS`, or an already-built
+    :class:`Transport` instance (returned as-is)."""
+    if spec is None:
+        return None
+    if isinstance(spec, Transport):
+        return spec
+    try:
+        cls = BACKENDS[spec]
+    except KeyError:
+        raise TransportError(
+            f"unknown transport backend {spec!r}; "
+            f"expected one of {sorted(BACKENDS)}"
+        ) from None
+    return cls(nranks, watchdog_s=watchdog_s)
+
+
+__all__ = [
+    "BACKENDS",
+    "DeadlockError",
+    "InlineTransport",
+    "LoweredComm",
+    "MultiprocessTransport",
+    "OpReceipt",
+    "RankOpStats",
+    "ReduceLowering",
+    "SendOp",
+    "ThreadedTransport",
+    "Transport",
+    "TransportError",
+    "WireStats",
+    "lower_comm",
+    "lower_reduction",
+    "make_transport",
+    "reduction_tree",
+]

@@ -1,0 +1,293 @@
+"""Transport interface and wire accounting.
+
+A :class:`Transport` executes the message traffic of a compiled SPMD
+program: the per-rank flat transfers :mod:`repro.runtime.plans` produces
+(lowered into rounds of :class:`~repro.transport.lowering.SendOp`
+records) and the gather-tree reductions.  Three backends implement the
+interface — inline (deterministic sequential reference), threaded (one
+worker per rank over lock-free per-pair queues), and multiprocess (one
+OS process per rank over ``multiprocessing.shared_memory``).
+
+Every backend records :class:`WireStats` — per-pair message and byte
+counts, per-rank send/receive/wait time, barrier stalls — and returns an
+:class:`OpReceipt` per operation so the executor can cross-check the
+measured traffic against the plan-time predictions *exactly*.  A
+watchdog bounds every blocking wait; a schedule that would deadlock
+(mismatched send/receive) raises a structured :class:`DeadlockError`
+instead of hanging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .lowering import LoweredComm
+
+
+class TransportError(SimulationError):
+    """A transport backend failed to execute a schedule."""
+
+
+class DeadlockError(TransportError):
+    """The watchdog fired: one or more ranks were stuck past the
+    timeout.  Carries a structured diagnostic instead of a hang —
+    ``stuck`` lists, per stuck rank, what it was waiting on; ``stacks``
+    (threaded backend) holds the formatted Python stack of each stuck
+    worker."""
+
+    def __init__(
+        self,
+        backend: str,
+        timeout_s: float,
+        stuck: list[dict],
+        stacks: dict[int, str] | None = None,
+    ) -> None:
+        self.backend = backend
+        self.timeout_s = timeout_s
+        self.stuck = stuck
+        self.stacks = stacks or {}
+        detail = "; ".join(
+            f"rank {s['rank']}: {s.get('state', '?')}"
+            + (f" (waiting on {s['waiting_on']})" if s.get("waiting_on") else "")
+            for s in stuck
+        ) or "no rank reported progress"
+        super().__init__(
+            f"{backend} transport deadlock: watchdog fired after "
+            f"{timeout_s:.2f}s — {detail}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "error": "deadlock",
+            "backend": self.backend,
+            "timeout_s": self.timeout_s,
+            "stuck": self.stuck,
+            "stacks": {str(r): s for r, s in self.stacks.items()},
+        }
+
+
+@dataclass
+class RankOpStats:
+    """One rank's measured contribution to one operation (picklable —
+    the multiprocess backend ships these back over the control plane)."""
+
+    sends: int = 0
+    bytes_sent: int = 0
+    local_copies: int = 0
+    send_s: float = 0.0
+    recv_s: float = 0.0
+    wait_s: float = 0.0
+    barrier_s: float = 0.0
+    barrier_stalls: int = 0
+    pair_msgs: dict = field(default_factory=dict)   # (src, dst) -> count
+    pair_bytes: dict = field(default_factory=dict)  # (src, dst) -> bytes
+
+
+@dataclass
+class OpReceipt:
+    """What one executed operation actually put on the wire."""
+
+    algorithm: str
+    messages: int = 0
+    bytes_sent: int = 0
+    pair_msgs: dict = field(default_factory=dict)
+    pair_bytes: dict = field(default_factory=dict)
+
+    def absorb(self, rank_stats: RankOpStats) -> None:
+        self.messages += rank_stats.sends
+        self.bytes_sent += rank_stats.bytes_sent
+        for pair, n in rank_stats.pair_msgs.items():
+            self.pair_msgs[pair] = self.pair_msgs.get(pair, 0) + n
+        for pair, n in rank_stats.pair_bytes.items():
+            self.pair_bytes[pair] = self.pair_bytes.get(pair, 0) + n
+
+
+@dataclass
+class WireStats:
+    """Cumulative wire-level accounting for one transport instance."""
+
+    backend: str
+    ops: int = 0
+    reduces: int = 0
+    messages: int = 0
+    bytes_sent: int = 0
+    local_copies: int = 0
+    barrier_stalls: int = 0
+    pair_msgs: dict = field(default_factory=dict)
+    pair_bytes: dict = field(default_factory=dict)
+    send_s: dict = field(default_factory=dict)     # rank -> seconds
+    recv_s: dict = field(default_factory=dict)
+    wait_s: dict = field(default_factory=dict)
+    barrier_s: dict = field(default_factory=dict)
+    algorithms: dict = field(default_factory=dict)  # algorithm -> op count
+
+    def absorb(self, rank: int, rs: RankOpStats) -> None:
+        self.messages += rs.sends
+        self.bytes_sent += rs.bytes_sent
+        self.local_copies += rs.local_copies
+        self.barrier_stalls += rs.barrier_stalls
+        for pair, n in rs.pair_msgs.items():
+            self.pair_msgs[pair] = self.pair_msgs.get(pair, 0) + n
+        for pair, n in rs.pair_bytes.items():
+            self.pair_bytes[pair] = self.pair_bytes.get(pair, 0) + n
+        self.send_s[rank] = self.send_s.get(rank, 0.0) + rs.send_s
+        self.recv_s[rank] = self.recv_s.get(rank, 0.0) + rs.recv_s
+        self.wait_s[rank] = self.wait_s.get(rank, 0.0) + rs.wait_s
+        self.barrier_s[rank] = self.barrier_s.get(rank, 0.0) + rs.barrier_s
+
+    def count_op(self, algorithm: str) -> None:
+        self.ops += 1
+        self.algorithms[algorithm] = self.algorithms.get(algorithm, 0) + 1
+
+    def as_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "ops": self.ops,
+            "reduces": self.reduces,
+            "messages": self.messages,
+            "bytes_sent": self.bytes_sent,
+            "local_copies": self.local_copies,
+            "barrier_stalls": self.barrier_stalls,
+            "algorithms": dict(sorted(self.algorithms.items())),
+            "pair_msgs": {
+                f"{s}->{d}": n for (s, d), n in sorted(self.pair_msgs.items())
+            },
+            "pair_bytes": {
+                f"{s}->{d}": n for (s, d), n in sorted(self.pair_bytes.items())
+            },
+            "per_rank_s": {
+                str(r): {
+                    "send": round(self.send_s.get(r, 0.0), 6),
+                    "recv": round(self.recv_s.get(r, 0.0), 6),
+                    "wait": round(self.wait_s.get(r, 0.0), 6),
+                    "barrier": round(self.barrier_s.get(r, 0.0), 6),
+                }
+                for r in sorted(
+                    set(self.send_s) | set(self.recv_s) | set(self.wait_s)
+                    | set(self.barrier_s)
+                )
+            },
+        }
+
+
+def extract_payload(values: np.ndarray, send) -> np.ndarray:
+    """The wire payload of one send: the indexed box, compacted by the
+    mask for the diagonal augmented exchanges."""
+    raw = values[send.index]
+    if send.mask is not None:
+        return np.ascontiguousarray(raw[send.mask])
+    return np.ascontiguousarray(raw)
+
+
+def install_payload(values: np.ndarray, valid: np.ndarray, send,
+                    payload: np.ndarray) -> None:
+    """Install a received payload into a rank's storage (and mark it
+    valid), inverting :func:`extract_payload`."""
+    if send.mask is None:
+        values[send.index] = payload.reshape(values[send.index].shape)
+        valid[send.index] = True
+    else:
+        region = values[send.index]
+        region[send.mask] = payload
+        values[send.index] = region
+        vregion = valid[send.index]
+        vregion[send.mask] = True
+        valid[send.index] = vregion
+
+
+class Transport:
+    """Abstract message-passing backend.
+
+    Lifecycle: construct with the rank count → ``create_storage`` (the
+    multiprocess backend allocates shared memory here; others plain
+    numpy) → ``start`` once the executor has built rank storage →
+    ``execute``/``reduce`` per operation → ``shutdown``.  A watchdog
+    timeout bounds every blocking wait; once it fires the transport is
+    poisoned (subsequent operations raise) and only ``shutdown`` is
+    valid.
+    """
+
+    name = "abstract"
+
+    def __init__(self, nranks: int, watchdog_s: float = 30.0) -> None:
+        self.nranks = nranks
+        self.watchdog_s = watchdog_s
+        self.stats = WireStats(backend=self.name)
+        self._poisoned: str | None = None
+
+    # -- storage ----------------------------------------------------------
+
+    def create_storage(
+        self, specs: Iterable[tuple[int, str, tuple[int, ...]]]
+    ) -> dict[tuple[int, str], tuple[np.ndarray, np.ndarray]]:
+        """Allocate (values, valid) buffers per (rank, array).  The base
+        implementation returns process-local numpy arrays; the
+        multiprocess backend overrides this with shared-memory views."""
+        return {
+            (rank, name): (np.zeros(shape), np.zeros(shape, dtype=bool))
+            for rank, name, shape in specs
+        }
+
+    def start(self, storage: dict) -> None:
+        """Begin execution against ``storage`` (rank -> name ->
+        RankStorage).  Concurrent backends launch their workers here."""
+        self.storage = storage
+
+    # -- operations -------------------------------------------------------
+
+    def execute(self, lowered: "LoweredComm") -> OpReceipt:
+        raise NotImplementedError
+
+    def reduce(self, pieces: dict[int, np.ndarray], op: str) -> tuple[
+        float, OpReceipt
+    ]:
+        """Combine per-rank partial vectors through a gather tree and
+        broadcast the result; returns (value, receipt).  The combine
+        order is canonical (rank-sorted concatenation) so every backend
+        produces the bit-identical value."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release workers and OS resources.  Idempotent."""
+
+    # -- guards -----------------------------------------------------------
+
+    def _check_alive(self) -> None:
+        if self._poisoned:
+            raise TransportError(
+                f"{self.name} transport unusable after: {self._poisoned}"
+            )
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def combine_pieces(pieces: dict[int, np.ndarray], op: str) -> float:
+    """Canonical reduction combine: rank-sorted concatenation of the
+    non-empty partial vectors, then one numpy reduction — exactly the
+    element-wise executor's order, so the value is bit-stable across
+    tree shapes and backends."""
+    ordered = [
+        np.asarray(pieces[rank]).ravel()
+        for rank in sorted(pieces)
+        if np.asarray(pieces[rank]).size
+    ]
+    if not ordered:
+        raise TransportError("reduction over empty partial set")
+    flat = np.concatenate(ordered)
+    if op == "SUM":
+        return float(flat.sum())
+    if op == "MAX":
+        return float(flat.max())
+    if op == "MIN":
+        return float(flat.min())
+    raise TransportError(f"unknown reduction op {op!r}")

@@ -1,0 +1,107 @@
+"""Inline transport: the deterministic sequential reference backend.
+
+Executes every lowered round in plan order inside the calling thread —
+snapshot all payloads first, then install — which is exactly the
+delivery semantics the concurrent backends must reproduce.  No real
+concurrency, but full wire accounting: every non-local send is counted
+as a message with its payload bytes, so the measured-vs-predicted
+cross-check exercises the same code path as the threaded and
+multiprocess backends.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .base import (
+    OpReceipt,
+    RankOpStats,
+    Transport,
+    combine_pieces,
+    extract_payload,
+    install_payload,
+)
+from .lowering import SCALAR_BYTES, LoweredComm, lower_reduction
+
+
+class InlineTransport(Transport):
+    """Sequential in-process execution of lowered schedules."""
+
+    name = "inline"
+
+    def execute(self, lowered: LoweredComm) -> OpReceipt:
+        self._check_alive()
+        receipt = OpReceipt(algorithm=lowered.algorithm)
+        per_rank = {r: RankOpStats() for r in range(self.nranks)}
+        for rnd in lowered.rounds:
+            staged = []
+            for s in rnd:
+                t0 = time.perf_counter()
+                store = self.storage[s.src][s.array]
+                staged.append((s, extract_payload(store.values, s)))
+                per_rank[s.src].send_s += time.perf_counter() - t0
+            for s, payload in staged:
+                t0 = time.perf_counter()
+                store = self.storage[s.dst][s.array]
+                install_payload(store.values, store.valid, s, payload)
+                rs = per_rank[s.dst]
+                rs.recv_s += time.perf_counter() - t0
+                if s.is_local:
+                    rs.local_copies += 1
+                else:
+                    sender = per_rank[s.src]
+                    sender.sends += 1
+                    sender.bytes_sent += s.nbytes
+                    pair = (s.src, s.dst)
+                    sender.pair_msgs[pair] = sender.pair_msgs.get(pair, 0) + 1
+                    sender.pair_bytes[pair] = (
+                        sender.pair_bytes.get(pair, 0) + s.nbytes
+                    )
+        for rank, rs in per_rank.items():
+            receipt.absorb(rs)
+            self.stats.absorb(rank, rs)
+        self.stats.count_op(lowered.algorithm)
+        return receipt
+
+    def reduce(self, pieces: dict[int, np.ndarray], op: str):
+        self._check_alive()
+        lowered = lower_reduction(
+            op,
+            {r: int(np.asarray(p).size) * SCALAR_BYTES
+             for r, p in pieces.items()},
+            self.nranks,
+        )
+        receipt = OpReceipt(algorithm="reduce-tree")
+        per_rank = {r: RankOpStats() for r in range(self.nranks)}
+        held: dict[int, dict[int, np.ndarray]] = {
+            r: {r: np.asarray(pieces.get(r, np.zeros(0)))}
+            for r in range(self.nranks)
+        }
+        for rnd in lowered.gather_rounds:
+            for src, dst in rnd:
+                payload = held[src]
+                nbytes = sum(int(p.size) * SCALAR_BYTES
+                             for p in payload.values())
+                self._count(per_rank[src], src, dst, nbytes)
+                held[dst].update(payload)
+                held[src] = {}
+        value = combine_pieces(held[0], op)
+        for rnd in lowered.bcast_rounds:
+            for src, dst in rnd:
+                self._count(per_rank[src], src, dst, SCALAR_BYTES)
+        for rank, rs in per_rank.items():
+            receipt.absorb(rs)
+            self.stats.absorb(rank, rs)
+        self.stats.reduces += 1
+        self.stats.count_op("reduce-tree")
+        return value, receipt
+
+    @staticmethod
+    def _count(rs: RankOpStats, src: int, dst: int, nbytes: int) -> None:
+        rs.sends += 1
+        rs.bytes_sent += nbytes
+        pair = (src, dst)
+        rs.pair_msgs[pair] = rs.pair_msgs.get(pair, 0) + 1
+        rs.pair_bytes[pair] = rs.pair_bytes.get(pair, 0) + nbytes

@@ -1,0 +1,225 @@
+"""Collective lowering: CommPlans → transport send schedules.
+
+The pattern classifier (:mod:`repro.comm.patterns`) already names the
+shape of every placed operation; this module exploits it when turning a
+:class:`~repro.runtime.plans.CommPlan` into wire traffic:
+
+* **shift** → *neighbor exchange*: the plan's point-to-point transfers,
+  posted concurrently in one round (diagonal augmented exchanges keep
+  their phase structure: phase ``k`` forwards data phase ``k-1``
+  delivered, so phases become barrier-separated rounds);
+* **allgather** → *ring*: every owner's piece travels around the rank
+  ring in ``P-1`` barrier-separated rounds, each rank forwarding the
+  piece it received the round before — same total bytes as the direct
+  broadcast, neighbor-only pairs;
+* **reduction** → *log-P combining tree* (:func:`lower_reduction`):
+  partial vectors gather up a binomial tree to rank 0, are combined in
+  canonical order, and the scalar result broadcasts back down;
+* **general** (and anything the recognizers decline) → raw
+  point-to-point exactly as planned.
+
+Every lowering carries its own *predicted* per-pair message/byte
+accounting, computed from the same geometry the backend will execute —
+the executor asserts measured == predicted exactly after every
+operation, which is the repository's wire-level analogue of the §6.1
+simulator check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..runtime.plans import CommPlan, PlannedTransfer
+
+
+@dataclass
+class SendOp:
+    """One wire message (or local install when ``src == dst``): move
+    the ``index`` box of ``array`` from rank ``src`` to rank ``dst``.
+    Picklable — the multiprocess control plane ships these verbatim."""
+
+    seq: int
+    src: int
+    dst: int
+    array: str
+    index: tuple
+    nbytes: int
+    mask: np.ndarray | None = None
+
+    @property
+    def is_local(self) -> bool:
+        return self.src == self.dst
+
+
+@dataclass
+class LoweredComm:
+    """One communication operation as rounds of sends.  All sends in a
+    round read state as of the end of the previous round (a barrier
+    separates rounds); within a round, written regions are disjoint per
+    destination, so delivery order cannot change the result."""
+
+    algorithm: str
+    rounds: list[list[SendOp]]
+    predicted_pairs: dict = field(default_factory=dict)  # (src,dst)->bytes
+    predicted_msgs: dict = field(default_factory=dict)   # (src,dst)->count
+
+    @property
+    def predicted_bytes(self) -> int:
+        return sum(self.predicted_pairs.values())
+
+    def wire_sends(self) -> list[SendOp]:
+        return [s for rnd in self.rounds for s in rnd if not s.is_local]
+
+
+def _predict(lowered: LoweredComm) -> LoweredComm:
+    for rnd in lowered.rounds:
+        for s in rnd:
+            if s.is_local:
+                continue
+            key = (s.src, s.dst)
+            lowered.predicted_pairs[key] = (
+                lowered.predicted_pairs.get(key, 0) + s.nbytes
+            )
+            lowered.predicted_msgs[key] = (
+                lowered.predicted_msgs.get(key, 0) + 1
+            )
+    return lowered
+
+
+def _pointwise_rounds(plan: CommPlan) -> list[list[SendOp]]:
+    """The plan's transfers as sends, grouped by phase (round)."""
+    by_phase: dict[int, list[SendOp]] = {}
+    seq = 0
+    for t in plan.transfers:
+        for dst in t.dsts:
+            by_phase.setdefault(t.phase, []).append(SendOp(
+                seq=seq, src=t.src, dst=dst, array=t.array,
+                index=t.index, nbytes=t.nbytes, mask=t.mask,
+            ))
+            seq += 1
+    return [by_phase[p] for p in sorted(by_phase)]
+
+
+def _ring_rounds(plan: CommPlan, nranks: int) -> list[list[SendOp]] | None:
+    """Ring lowering of an all-destinations broadcast plan, or None when
+    the plan does not have the expected shape (every transfer unmasked
+    with the full rank set as destinations)."""
+    pieces: list[PlannedTransfer] = []
+    all_ranks = tuple(range(nranks))
+    for t in plan.transfers:
+        if t.mask is not None or tuple(sorted(t.dsts)) != all_ranks:
+            return None
+        pieces.append(t)
+    if not pieces or nranks < 3:
+        return None  # P<3: the ring degenerates to the direct sends
+    rounds: list[list[SendOp]] = []
+    seq = 0
+    for step in range(1, nranks):
+        rnd: list[SendOp] = []
+        for t in pieces:
+            src = (t.src + step - 1) % nranks
+            dst = (t.src + step) % nranks
+            rnd.append(SendOp(
+                seq=seq, src=src, dst=dst, array=t.array,
+                index=t.index, nbytes=t.nbytes,
+            ))
+            seq += 1
+        rounds.append(rnd)
+    return rounds
+
+
+def lower_comm(
+    kind: str, plan: CommPlan, nranks: int, collectives: bool = True
+) -> LoweredComm:
+    """Lower one plan to the cheapest collective its classified shape
+    admits; anything unrecognized (or ``collectives=False``) stays raw
+    point-to-point."""
+    if collectives and kind == "allgather":
+        ring = _ring_rounds(plan, nranks)
+        if ring is not None:
+            return _predict(LoweredComm("ring-allgather", ring))
+    rounds = _pointwise_rounds(plan)
+    if collectives and kind == "shift":
+        algorithm = (
+            "neighbor-exchange" if len(rounds) <= 1
+            else "augmented-exchange"
+        )
+    else:
+        algorithm = "pointwise"
+    return _predict(LoweredComm(algorithm, rounds))
+
+
+# ---------------------------------------------------------------------------
+# Reductions: binomial gather tree + broadcast
+# ---------------------------------------------------------------------------
+
+
+SCALAR_BYTES = 8
+
+
+@dataclass
+class ReduceLowering:
+    """A log-P combining tree over all ranks: ``gather_rounds`` move the
+    accumulated partial vectors toward rank 0 (payload grows as subtrees
+    merge), rank 0 combines in canonical order, and ``bcast_rounds``
+    fan the 8-byte result back out along the reversed edges."""
+
+    op: str
+    gather_rounds: list[list[tuple[int, int]]]  # (src, dst) edges
+    bcast_rounds: list[list[tuple[int, int]]]
+    predicted_pairs: dict = field(default_factory=dict)
+    predicted_msgs: dict = field(default_factory=dict)
+
+    @property
+    def depth(self) -> int:
+        return len(self.gather_rounds)
+
+
+def reduction_tree(nranks: int) -> list[list[tuple[int, int]]]:
+    """Binomial-tree gather edges toward rank 0, round by round."""
+    rounds: list[list[tuple[int, int]]] = []
+    step = 1
+    while step < nranks:
+        edges = [
+            (base + step, base)
+            for base in range(0, nranks, 2 * step)
+            if base + step < nranks
+        ]
+        rounds.append(edges)
+        step *= 2
+    return rounds
+
+
+def lower_reduction(
+    op: str, piece_bytes: dict[int, int], nranks: int
+) -> ReduceLowering:
+    """Schedule one reduction and predict its exact wire traffic from
+    the per-rank partial sizes."""
+    gather = reduction_tree(nranks)
+    bcast = [[(dst, src) for src, dst in rnd] for rnd in reversed(gather)]
+    lowered = ReduceLowering(op, gather, bcast)
+    held = {rank: piece_bytes.get(rank, 0) for rank in range(nranks)}
+    for rnd in gather:
+        for src, dst in rnd:
+            payload = held[src]
+            key = (src, dst)
+            lowered.predicted_pairs[key] = (
+                lowered.predicted_pairs.get(key, 0) + payload
+            )
+            lowered.predicted_msgs[key] = (
+                lowered.predicted_msgs.get(key, 0) + 1
+            )
+            held[dst] += held[src]
+            held[src] = 0
+    for rnd in bcast:
+        for src, dst in rnd:
+            key = (src, dst)
+            lowered.predicted_pairs[key] = (
+                lowered.predicted_pairs.get(key, 0) + SCALAR_BYTES
+            )
+            lowered.predicted_msgs[key] = (
+                lowered.predicted_msgs.get(key, 0) + 1
+            )
+    return lowered

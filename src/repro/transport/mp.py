@@ -1,0 +1,537 @@
+"""Multiprocess transport: one OS process per rank.
+
+Rank storage lives in a single ``multiprocessing.shared_memory`` arena
+(8-byte-aligned values + validity masks per (rank, array)); the main
+process and every worker map numpy views over the same segment, so
+compute results written by the executor are immediately visible to the
+rank that must send them.
+
+The control plane is pickled: per-rank command queues carry round
+scripts (:class:`~repro.transport.lowering.SendOp` lists), per-pair
+queues carry message tags, and a results queue returns per-op
+:class:`~repro.transport.base.RankOpStats`.  Payloads travel through a
+separate shared-memory *data* arena: the sender copies the wire bytes
+to a per-send offset the dispatcher assigned, then posts the tag; the
+queue's ordering is the happens-before edge that makes the bytes safe
+to read.  Rounds are separated by a real ``multiprocessing.Barrier``.
+
+A watchdog bounds every wait.  On expiry the main process aborts the
+fleet, reads each rank's last self-reported state from a shared status
+block, and raises a structured
+:class:`~repro.transport.base.DeadlockError`; ``shutdown`` then joins
+(or terminates) every worker so no zombie processes survive.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import secrets
+import threading
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from .base import (
+    DeadlockError,
+    OpReceipt,
+    RankOpStats,
+    Transport,
+    TransportError,
+    combine_pieces,
+    extract_payload,
+    install_payload,
+)
+from .lowering import SCALAR_BYTES, LoweredComm, lower_reduction
+
+_ALIGN = 8
+_POLL_S = 0.02
+
+# Worker self-reported states for the watchdog status block.
+_IDLE, _RUNNING, _RECV_WAIT, _BARRIER = 0, 1, 2, 3
+_STATE_NAMES = {
+    _IDLE: "idle",
+    _RUNNING: "running",
+    _RECV_WAIT: "waiting on recv",
+    _BARRIER: "waiting at barrier",
+}
+
+
+def _align(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class _Abort(Exception):
+    pass
+
+
+def _np_views(sm: shared_memory.SharedMemory, entries):
+    """(values, valid) views for ``entries`` of a storage layout table:
+    (rank, name, shape, values_offset, valid_offset)."""
+    views = {}
+    for rank, name, shape, off_values, off_valid in entries:
+        count = int(np.prod(shape)) if shape else 1
+        values = np.ndarray(shape, dtype=np.float64, buffer=sm.buf,
+                            offset=off_values)
+        valid = np.ndarray(shape, dtype=bool, buffer=sm.buf,
+                           offset=off_valid)
+        assert values.size == count
+        views[(rank, name)] = (values, valid)
+    return views
+
+
+class _WorkerState:
+    """Per-process context for one rank's worker loop."""
+
+    def __init__(self, rank, nranks, storage_name, layout, chans, barrier,
+                 abort, status, watchdog_s):
+        self.rank = rank
+        self.nranks = nranks
+        self.chans = chans
+        self.barrier = barrier
+        self.abort = abort
+        self.status = status
+        self.watchdog_s = watchdog_s
+        self.storage_sm = shared_memory.SharedMemory(name=storage_name)
+        self.views = _np_views(
+            self.storage_sm, [e for e in layout if e[0] == rank]
+        )
+        self.arenas: dict[str, shared_memory.SharedMemory] = {}
+
+    def set_state(self, state: int, rnd: int = -1, partner: int = -1,
+                  seq: int = -1) -> None:
+        base = self.rank * 4
+        self.status[base] = state
+        self.status[base + 1] = rnd
+        self.status[base + 2] = partner
+        self.status[base + 3] = seq
+
+    def arena(self, name: str) -> shared_memory.SharedMemory:
+        sm = self.arenas.get(name)
+        if sm is None:
+            sm = self.arenas[name] = shared_memory.SharedMemory(name=name)
+        return sm
+
+    def ctrl_get(self, src: int, deadline: float):
+        q = self.chans[(src, self.rank)]
+        while True:
+            try:
+                return q.get(timeout=_POLL_S)
+            except queue_mod.Empty:
+                if self.abort.is_set() or time.monotonic() > deadline:
+                    raise _Abort()
+
+    def close(self) -> None:
+        self.views = {}
+        self.storage_sm.close()
+        for sm in self.arenas.values():
+            sm.close()
+
+
+def _mp_worker(rank, nranks, storage_name, layout, cmd_q, res_q, chans,
+               barrier, abort, status, watchdog_s):
+    ctx = _WorkerState(rank, nranks, storage_name, layout, chans, barrier,
+                       abort, status, watchdog_s)
+    try:
+        while True:
+            cmd = cmd_q.get()
+            kind = cmd[0]
+            if kind == "stop":
+                res_q.put(("bye", rank, -1, None, None))
+                return
+            op_id = cmd[1]
+            ctx.set_state(_RUNNING)
+            try:
+                if kind == "op":
+                    _, _, script, data_name, offsets = cmd
+                    rs = _run_op(ctx, script, data_name, offsets)
+                    res_q.put(("ok", rank, op_id, rs, None))
+                else:  # reduce
+                    _, _, piece, op, lowered = cmd
+                    value, rs = _run_reduce(ctx, piece, op, lowered)
+                    res_q.put(("ok", rank, op_id, rs, value))
+            except (_Abort, threading.BrokenBarrierError):
+                res_q.put(("aborted", rank, op_id, None, None))
+            except Exception as exc:  # noqa: BLE001 - reported to main
+                import traceback
+
+                res_q.put(
+                    ("error", rank, op_id, traceback.format_exc(), None)
+                )
+                del exc
+            ctx.set_state(_IDLE)
+    finally:
+        ctx.close()
+
+
+def _wire(rs: RankOpStats, src: int, dst: int, nbytes: int) -> None:
+    rs.sends += 1
+    rs.bytes_sent += nbytes
+    pair = (src, dst)
+    rs.pair_msgs[pair] = rs.pair_msgs.get(pair, 0) + 1
+    rs.pair_bytes[pair] = rs.pair_bytes.get(pair, 0) + nbytes
+
+
+def _run_op(ctx: _WorkerState, script, data_name, offsets) -> RankOpStats:
+    rs = RankOpStats()
+    rank = ctx.rank
+    # Backstop only: the main process's collector fires at watchdog_s
+    # and reads the status block while workers are still stuck.
+    deadline = time.monotonic() + ctx.watchdog_s * 2
+    data = ctx.arena(data_name) if data_name else None
+    for rnd_no, rnd in enumerate(script):
+        for s in rnd["send"]:
+            t0 = time.perf_counter()
+            values, _valid = ctx.views[(rank, s.array)]
+            payload = extract_payload(values, s)
+            off = offsets[s.seq]
+            dst_view = np.ndarray(
+                (payload.size,), dtype=np.float64, buffer=data.buf,
+                offset=off,
+            )
+            dst_view[:] = payload.ravel()
+            ctx.chans[(rank, s.dst)].put(s.seq)
+            rs.send_s += time.perf_counter() - t0
+            _wire(rs, rank, s.dst, s.nbytes)
+        for s in rnd["local"]:
+            values, valid = ctx.views[(rank, s.array)]
+            install_payload(values, valid, s, extract_payload(values, s))
+            rs.local_copies += 1
+        for s in rnd["recv"]:
+            ctx.set_state(_RECV_WAIT, rnd_no, s.src, s.seq)
+            t0 = time.perf_counter()
+            seq = ctx.ctrl_get(s.src, deadline)
+            rs.wait_s += time.perf_counter() - t0
+            ctx.set_state(_RUNNING, rnd_no)
+            if seq != s.seq:
+                raise TransportError(
+                    f"rank {rank}: message reorder from rank {s.src} "
+                    f"(got seq {seq}, expected {s.seq})"
+                )
+            t0 = time.perf_counter()
+            count = s.nbytes // SCALAR_BYTES
+            payload = np.ndarray(
+                (count,), dtype=np.float64, buffer=data.buf,
+                offset=offsets[s.seq],
+            )
+            values, valid = ctx.views[(rank, s.array)]
+            install_payload(values, valid, s, payload)
+            rs.recv_s += time.perf_counter() - t0
+        ctx.set_state(_BARRIER, rnd_no)
+        t0 = time.perf_counter()
+        ctx.barrier.wait(timeout=ctx.watchdog_s * 2)
+        stall = time.perf_counter() - t0
+        rs.barrier_s += stall
+        if stall > 0.001:
+            rs.barrier_stalls += 1
+    return rs
+
+
+def _run_reduce(ctx: _WorkerState, piece, op, lowered):
+    rs = RankOpStats()
+    rank = ctx.rank
+    deadline = time.monotonic() + ctx.watchdog_s * 2
+    acc = {rank: np.asarray(piece)}
+    for rnd in lowered.gather_rounds:
+        for src, dst in rnd:
+            if src == rank:
+                nbytes = sum(
+                    int(p.size) * SCALAR_BYTES for p in acc.values()
+                )
+                ctx.chans[(rank, dst)].put(acc)
+                acc = {}
+                _wire(rs, rank, dst, nbytes)
+            elif dst == rank:
+                ctx.set_state(_RECV_WAIT, -1, src)
+                t0 = time.perf_counter()
+                got = ctx.ctrl_get(src, deadline)
+                rs.wait_s += time.perf_counter() - t0
+                ctx.set_state(_RUNNING)
+                acc.update(got)
+    value = combine_pieces(acc, op) if rank == 0 else None
+    for rnd in lowered.bcast_rounds:
+        for src, dst in rnd:
+            if src == rank:
+                ctx.chans[(rank, dst)].put(value)
+                _wire(rs, rank, dst, SCALAR_BYTES)
+            elif dst == rank:
+                ctx.set_state(_RECV_WAIT, -1, src)
+                t0 = time.perf_counter()
+                value = ctx.ctrl_get(src, deadline)
+                rs.wait_s += time.perf_counter() - t0
+                ctx.set_state(_RUNNING)
+    ctx.set_state(_BARRIER)
+    t0 = time.perf_counter()
+    ctx.barrier.wait(timeout=ctx.watchdog_s * 2)
+    stall = time.perf_counter() - t0
+    rs.barrier_s += stall
+    if stall > 0.001:
+        rs.barrier_stalls += 1
+    return float(value), rs
+
+
+class MultiprocessTransport(Transport):
+    """One OS process per rank over shared-memory storage."""
+
+    name = "multiprocess"
+
+    def __init__(self, nranks: int, watchdog_s: float = 30.0) -> None:
+        super().__init__(nranks, watchdog_s)
+        self.stats.backend = self.name
+        self._token = secrets.token_hex(4)
+        self._ctx = mp.get_context()
+        self._storage_sm: shared_memory.SharedMemory | None = None
+        self._layout: list[tuple] = []
+        self._data_sm: shared_memory.SharedMemory | None = None
+        self._data_gen = 0
+        self._retired_data: list[shared_memory.SharedMemory] = []
+        self._chans = {
+            (s, d): self._ctx.Queue()
+            for s in range(nranks) for d in range(nranks) if s != d
+        }
+        self._cmd = [self._ctx.Queue() for _ in range(nranks)]
+        self._results = self._ctx.Queue()
+        self._abort = self._ctx.Event()
+        self._barrier = self._ctx.Barrier(nranks)
+        self._status = self._ctx.RawArray("q", nranks * 4)
+        self._procs: list = []
+        self._op_counter = 0
+        self._started = False
+        self._shut_down = False
+
+    # -- storage -----------------------------------------------------------
+
+    def create_storage(self, specs):
+        specs = list(specs)
+        offset = 0
+        layout = []
+        for rank, name, shape in specs:
+            count = int(np.prod(shape)) if shape else 1
+            off_values = offset
+            offset = _align(offset + count * 8)
+            off_valid = offset
+            offset = _align(offset + count)
+            layout.append((rank, name, shape, off_values, off_valid))
+        self._storage_sm = shared_memory.SharedMemory(
+            create=True, size=max(offset, _ALIGN),
+            name=f"repro-st-{self._token}",
+        )
+        self._storage_sm.buf[:] = b"\x00" * len(self._storage_sm.buf)
+        self._layout = layout
+        return _np_views(self._storage_sm, layout)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self, storage: dict) -> None:
+        super().start(storage)
+        if self._started:
+            return
+        if self._storage_sm is None:
+            self.create_storage([])  # reduce-only session: empty arena
+        for rank in range(self.nranks):
+            p = self._ctx.Process(
+                target=_mp_worker,
+                args=(rank, self.nranks, self._storage_sm.name, self._layout,
+                      self._cmd[rank], self._results, self._chans,
+                      self._barrier, self._abort, self._status,
+                      self.watchdog_s),
+                name=f"transport-rank-{rank}",
+                daemon=True,
+            )
+            p.start()
+            self._procs.append(p)
+        self._started = True
+
+    def shutdown(self) -> None:
+        if self._shut_down:
+            return
+        self._shut_down = True
+        self._abort.set()
+        if self._started:
+            for rank in range(self.nranks):
+                try:
+                    self._cmd[rank].put(("stop",))
+                except (ValueError, OSError):
+                    pass
+            deadline = time.monotonic() + 5.0
+            for p in self._procs:
+                p.join(timeout=max(0.1, deadline - time.monotonic()))
+            for p in self._procs:
+                if p.is_alive():
+                    p.terminate()
+                    p.join(timeout=2.0)
+        for q in [*self._chans.values(), *self._cmd, self._results]:
+            q.cancel_join_thread()
+            q.close()
+        for sm in [self._storage_sm, self._data_sm, *self._retired_data]:
+            if sm is None:
+                continue
+            try:
+                sm.close()
+            except BufferError:
+                pass  # executor still holds views; freed when they die
+            try:
+                sm.unlink()
+            except FileNotFoundError:
+                pass
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _next_op(self) -> int:
+        self._op_counter += 1
+        return self._op_counter
+
+    def _ensure_data_arena(self, nbytes: int) -> shared_memory.SharedMemory:
+        if self._data_sm is not None and self._data_sm.size >= nbytes:
+            return self._data_sm
+        size = 1 << max(12, (max(nbytes, 1) - 1).bit_length())
+        if self._data_sm is not None:
+            # Workers may still have the old generation mapped; retire it
+            # and unlink everything at shutdown.
+            self._retired_data.append(self._data_sm)
+        self._data_gen += 1
+        self._data_sm = shared_memory.SharedMemory(
+            create=True, size=size,
+            name=f"repro-dt-{self._token}-g{self._data_gen}",
+        )
+        return self._data_sm
+
+    def _scripts_for(self, lowered: LoweredComm):
+        scripts = {r: [] for r in range(self.nranks)}
+        for rnd in lowered.rounds:
+            per = {
+                r: {"send": [], "recv": [], "local": []}
+                for r in range(self.nranks)
+            }
+            for s in rnd:
+                if s.is_local:
+                    per[s.src]["local"].append(s)
+                else:
+                    per[s.src]["send"].append(s)
+                    per[s.dst]["recv"].append(s)
+            for r in range(self.nranks):
+                scripts[r].append(per[r])
+        return scripts
+
+    def execute(self, lowered: LoweredComm) -> OpReceipt:
+        scripts = self._scripts_for(lowered)
+        return self._dispatch(scripts, lowered.algorithm)
+
+    def _dispatch(self, scripts, algorithm: str) -> OpReceipt:
+        self._check_alive()
+        offsets: dict[int, int] = {}
+        offset = 0
+        for script in scripts.values():
+            for rnd in script:
+                for s in rnd["send"]:
+                    offsets[s.seq] = offset
+                    offset = _align(offset + s.nbytes)
+        data = self._ensure_data_arena(offset) if offset else None
+        op_id = self._next_op()
+        for rank in range(self.nranks):
+            self._cmd[rank].put(
+                ("op", op_id, scripts[rank],
+                 data.name if data else None, offsets)
+            )
+        receipt = OpReceipt(algorithm=algorithm)
+        self._collect(op_id, receipt)
+        self.stats.count_op(algorithm)
+        return receipt
+
+    def reduce(self, pieces: dict[int, np.ndarray], op: str):
+        self._check_alive()
+        lowered = lower_reduction(
+            op,
+            {r: int(np.asarray(p).size) * SCALAR_BYTES
+             for r, p in pieces.items()},
+            self.nranks,
+        )
+        op_id = self._next_op()
+        for rank in range(self.nranks):
+            piece = np.asarray(pieces.get(rank, np.zeros(0)))
+            self._cmd[rank].put(("reduce", op_id, piece, op, lowered))
+        receipt = OpReceipt(algorithm="reduce-tree")
+        values = self._collect(op_id, receipt)
+        distinct = set(values.values())
+        if len(distinct) != 1:
+            raise TransportError(
+                f"reduce-tree broadcast diverged across ranks: {distinct}"
+            )
+        self.stats.reduces += 1
+        self.stats.count_op("reduce-tree")
+        return distinct.pop(), receipt
+
+    def _collect(self, op_id: int, receipt: OpReceipt) -> dict[int, float]:
+        deadline = time.monotonic() + self.watchdog_s
+        done: dict[int, float] = {}
+        failures: list[str] = []
+        while len(done) < self.nranks:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._deadlock(set(range(self.nranks)) - set(done))
+            try:
+                msg = self._results.get(timeout=min(remaining, 0.2))
+            except queue_mod.Empty:
+                dead = [p.name for p in self._procs if not p.is_alive()]
+                if dead:
+                    self._poisoned = "worker process died"
+                    raise TransportError(
+                        f"multiprocess transport worker(s) died: {dead}"
+                    ) from None
+                continue
+            status, rank, msg_op, payload, value = msg
+            if msg_op != op_id:
+                continue
+            if status == "ok":
+                receipt.absorb(payload)
+                self.stats.absorb(rank, payload)
+                done[rank] = value if value is not None else 0.0
+            elif status == "aborted":
+                if not failures:
+                    self._deadlock(set(range(self.nranks)) - set(done))
+                done[rank] = 0.0
+            else:
+                failures.append(f"rank {rank}: {payload}")
+                done[rank] = 0.0
+                self._abort.set()
+                self._barrier.abort()
+        if failures:
+            self._poisoned = "worker failure"
+            raise TransportError(
+                "multiprocess transport worker failed:\n"
+                + "\n".join(failures)
+            )
+        return done
+
+    def _deadlock(self, missing: set[int]):
+        self._poisoned = "deadlock watchdog"
+        self._abort.set()
+        try:
+            self._barrier.abort()
+        except Exception:  # noqa: BLE001 - barrier may already be broken
+            pass
+        stuck = []
+        for rank in sorted(missing):
+            base = rank * 4
+            state = _STATE_NAMES.get(self._status[base], "unknown")
+            waiting = None
+            if self._status[base] == _RECV_WAIT:
+                waiting = (
+                    f"message seq {self._status[base + 3]} from rank "
+                    f"{self._status[base + 2]}"
+                )
+            elif self._status[base] == _BARRIER:
+                waiting = f"barrier after round {self._status[base + 1]}"
+            stuck.append({
+                "rank": rank,
+                "state": state,
+                "waiting_on": waiting,
+            })
+        raise DeadlockError(self.name, self.watchdog_s, stuck)
+
+    def __del__(self) -> None:  # best-effort resource cleanup
+        try:
+            self.shutdown()
+        except Exception:  # noqa: BLE001
+            pass

@@ -1,0 +1,381 @@
+"""Threaded transport: one worker thread per rank.
+
+Each rank runs a persistent worker; every lowered round is executed
+concurrently — ranks post their sends to lock-free per-pair SPSC
+channels (a ``collections.deque`` per (src, dst) pair; append/popleft
+are atomic under the GIL, so no locks on the data path), then block
+receiving what their round script expects, then meet at a real
+``threading.Barrier``.  Payloads are numpy copies handed through the
+channel, counted at their wire size.
+
+A watchdog bounds every blocking wait: if any rank is still stuck when
+it expires, the main thread aborts the fleet, captures each stuck
+worker's Python stack (``sys._current_frames``), and raises a
+structured :class:`~repro.transport.base.DeadlockError` — a mismatched
+schedule fails loudly instead of hanging.  After a deadlock the
+transport is poisoned; only ``shutdown`` remains valid.
+"""
+
+from __future__ import annotations
+
+import queue
+import sys
+import threading
+import time
+import traceback
+from collections import deque
+
+import numpy as np
+
+from .base import (
+    DeadlockError,
+    OpReceipt,
+    RankOpStats,
+    Transport,
+    TransportError,
+    combine_pieces,
+    extract_payload,
+    install_payload,
+)
+from .lowering import SCALAR_BYTES, LoweredComm, lower_reduction
+
+#: Spin interval while a channel is empty — long enough to release the
+#: GIL, short enough to keep neighbour-exchange latency low.
+_POLL_S = 0.0002
+
+#: A barrier arrival that waited longer than this counts as a stall.
+_STALL_S = 0.001
+
+
+class _Abort(Exception):
+    """Internal: the main thread cancelled the in-flight operation."""
+
+
+class SPSCChannel:
+    """Single-producer single-consumer queue for one (src, dst) pair."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: deque = deque()
+
+    def put(self, item) -> None:
+        self._items.append(item)
+
+    def get(self, deadline: float, abort: threading.Event, waiting):
+        while True:
+            try:
+                return self._items.popleft()
+            except IndexError:
+                if abort.is_set():
+                    raise _Abort()
+                if time.monotonic() > deadline:
+                    waiting()
+                    raise _Abort()
+                time.sleep(_POLL_S)
+
+
+class ThreadedTransport(Transport):
+    """Worker-per-rank execution over per-pair SPSC channels."""
+
+    name = "threaded"
+
+    def __init__(self, nranks: int, watchdog_s: float = 30.0) -> None:
+        super().__init__(nranks, watchdog_s)
+        self.stats.backend = self.name
+        self._chan = {
+            (s, d): SPSCChannel()
+            for s in range(nranks) for d in range(nranks) if s != d
+        }
+        self._cmd = [queue.SimpleQueue() for _ in range(nranks)]
+        self._results: queue.SimpleQueue = queue.SimpleQueue()
+        self._abort = threading.Event()
+        self._barrier = threading.Barrier(nranks)
+        self._pending: dict[int, str] = {}
+        self._op_counter = 0
+        self._threads: list[threading.Thread] = []
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self, storage: dict) -> None:
+        super().start(storage)
+        if self._started:
+            return
+        for rank in range(self.nranks):
+            t = threading.Thread(
+                target=self._worker_loop, args=(rank,),
+                name=f"transport-rank-{rank}", daemon=True,
+            )
+            t.start()
+            self._threads.append(t)
+        self._started = True
+
+    def shutdown(self) -> None:
+        if not self._started:
+            return
+        self._abort.set()
+        for rank in range(self.nranks):
+            self._cmd[rank].put(("stop",))
+        for t in self._threads:
+            t.join(timeout=5.0)
+        self._threads = []
+        self._started = False
+
+    # -- operations --------------------------------------------------------
+
+    def execute(self, lowered: LoweredComm) -> OpReceipt:
+        scripts = self._scripts_for(lowered)
+        return self._dispatch(scripts, lowered.algorithm)
+
+    def reduce(self, pieces: dict[int, np.ndarray], op: str):
+        self._check_alive()
+        lowered = lower_reduction(
+            op,
+            {r: int(np.asarray(p).size) * SCALAR_BYTES
+             for r, p in pieces.items()},
+            self.nranks,
+        )
+        op_id = self._next_op()
+        for rank in range(self.nranks):
+            piece = np.asarray(pieces.get(rank, np.zeros(0)))
+            self._cmd[rank].put(("reduce", op_id, piece, op, lowered))
+        receipt = OpReceipt(algorithm="reduce-tree")
+        values = self._collect(op_id, receipt)
+        distinct = set(values.values())
+        if len(distinct) != 1:
+            raise TransportError(
+                f"reduce-tree broadcast diverged across ranks: {distinct}"
+            )
+        self.stats.reduces += 1
+        self.stats.count_op("reduce-tree")
+        return distinct.pop(), receipt
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _next_op(self) -> int:
+        self._op_counter += 1
+        return self._op_counter
+
+    def _scripts_for(self, lowered: LoweredComm) -> dict[int, list[dict]]:
+        """Per-rank round scripts: what each rank sends, receives (in
+        per-source FIFO order), and installs locally in every round."""
+        scripts: dict[int, list[dict]] = {r: [] for r in range(self.nranks)}
+        for rnd in lowered.rounds:
+            per = {
+                r: {"send": [], "recv": [], "local": []}
+                for r in range(self.nranks)
+            }
+            for s in rnd:
+                if s.is_local:
+                    per[s.src]["local"].append(s)
+                else:
+                    per[s.src]["send"].append(s)
+                    per[s.dst]["recv"].append(s)
+            for r in range(self.nranks):
+                scripts[r].append(per[r])
+        return scripts
+
+    def _dispatch(self, scripts: dict[int, list[dict]],
+                  algorithm: str) -> OpReceipt:
+        self._check_alive()
+        op_id = self._next_op()
+        for rank in range(self.nranks):
+            self._cmd[rank].put(("op", op_id, scripts[rank]))
+        receipt = OpReceipt(algorithm=algorithm)
+        self._collect(op_id, receipt)
+        self.stats.count_op(algorithm)
+        return receipt
+
+    def _collect(self, op_id: int, receipt: OpReceipt) -> dict[int, float]:
+        """Gather one completion per rank, enforcing the watchdog."""
+        deadline = time.monotonic() + self.watchdog_s
+        done: dict[int, float] = {}
+        failures: list[str] = []
+        while len(done) < self.nranks:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._deadlock(set(range(self.nranks)) - set(done))
+            try:
+                msg = self._results.get(timeout=min(remaining, 0.1))
+            except queue.Empty:
+                continue
+            status, rank, msg_op, payload, value = msg
+            if msg_op != op_id:
+                continue  # stale completion from an aborted operation
+            if status == "ok":
+                receipt.absorb(payload)
+                self.stats.absorb(rank, payload)
+                done[rank] = value if value is not None else 0.0
+            elif status == "aborted":
+                if not failures:
+                    self._deadlock(set(range(self.nranks)) - set(done))
+                done[rank] = 0.0
+            else:
+                failures.append(f"rank {rank}: {payload}")
+                done[rank] = 0.0
+                # Release ranks blocked on the failed one, then keep
+                # draining so every worker returns to its command loop.
+                self._abort.set()
+                self._barrier.abort()
+        if failures:
+            self._poisoned = "worker failure"
+            raise TransportError(
+                "threaded transport worker failed:\n" + "\n".join(failures)
+            )
+        return done
+
+    def _deadlock(self, missing: set[int]):
+        self._poisoned = "deadlock watchdog"
+        self._abort.set()
+        self._barrier.abort()
+        stacks: dict[int, str] = {}
+        frames = sys._current_frames()
+        for rank, t in enumerate(self._threads):
+            if rank in missing and t.ident in frames:
+                stacks[rank] = "".join(
+                    traceback.format_stack(frames[t.ident])
+                )
+        stuck = [
+            {
+                "rank": rank,
+                "state": "stuck",
+                "waiting_on": self._pending.get(rank, "unknown"),
+            }
+            for rank in sorted(missing)
+        ]
+        raise DeadlockError(self.name, self.watchdog_s, stuck, stacks)
+
+    # -- worker ------------------------------------------------------------
+
+    def _worker_loop(self, rank: int) -> None:
+        while True:
+            cmd = self._cmd[rank].get()
+            kind = cmd[0]
+            if kind == "stop":
+                return
+            op_id = cmd[1]
+            try:
+                if kind == "op":
+                    rs = self._run_op(rank, cmd[2])
+                    self._results.put(("ok", rank, op_id, rs, None))
+                else:  # reduce
+                    _, _, piece, op, lowered = cmd
+                    value, rs = self._run_reduce(rank, piece, op, lowered)
+                    self._results.put(("ok", rank, op_id, rs, value))
+            except _Abort:
+                self._results.put(("aborted", rank, op_id, None, None))
+            except threading.BrokenBarrierError:
+                self._results.put(("aborted", rank, op_id, None, None))
+            except Exception:  # noqa: BLE001 - reported to the main thread
+                self._results.put(
+                    ("error", rank, op_id, traceback.format_exc(), None)
+                )
+
+    def _barrier_wait(self, rank: int, rs: RankOpStats) -> None:
+        self._pending[rank] = "barrier"
+        t0 = time.perf_counter()
+        try:
+            self._barrier.wait(timeout=self.watchdog_s * 2)
+        finally:
+            stall = time.perf_counter() - t0
+            rs.barrier_s += stall
+            if stall > _STALL_S:
+                rs.barrier_stalls += 1
+            self._pending.pop(rank, None)
+
+    def _run_op(self, rank: int, script: list[dict]) -> RankOpStats:
+        rs = RankOpStats()
+        # 2x the main thread's watchdog: the collector is the primary
+        # detector (it captures stacks while workers are still stuck);
+        # this is only the backstop should the collector itself die.
+        deadline = time.monotonic() + self.watchdog_s * 2
+        for rnd in script:
+            for s in rnd["send"]:
+                t0 = time.perf_counter()
+                store = self.storage[rank][s.array]
+                payload = extract_payload(store.values, s)
+                self._chan[(rank, s.dst)].put((s.seq, payload))
+                rs.send_s += time.perf_counter() - t0
+                rs.sends += 1
+                rs.bytes_sent += s.nbytes
+                pair = (rank, s.dst)
+                rs.pair_msgs[pair] = rs.pair_msgs.get(pair, 0) + 1
+                rs.pair_bytes[pair] = rs.pair_bytes.get(pair, 0) + s.nbytes
+            for s in rnd["local"]:
+                store = self.storage[rank][s.array]
+                install_payload(
+                    store.values, store.valid, s,
+                    extract_payload(store.values, s),
+                )
+                rs.local_copies += 1
+            for s in rnd["recv"]:
+                self._pending[rank] = (
+                    f"recv {s.array} seq {s.seq} from rank {s.src}"
+                )
+                t0 = time.perf_counter()
+                seq, payload = self._chan[(s.src, rank)].get(
+                    deadline, self._abort, lambda: None
+                )
+                rs.wait_s += time.perf_counter() - t0
+                self._pending.pop(rank, None)
+                if seq != s.seq:
+                    raise TransportError(
+                        f"rank {rank}: message reorder from rank {s.src} "
+                        f"(got seq {seq}, expected {s.seq})"
+                    )
+                t0 = time.perf_counter()
+                store = self.storage[rank][s.array]
+                install_payload(store.values, store.valid, s, payload)
+                rs.recv_s += time.perf_counter() - t0
+            self._barrier_wait(rank, rs)
+        return rs
+
+    def _run_reduce(
+        self, rank: int, piece: np.ndarray, op: str, lowered
+    ) -> tuple[float, RankOpStats]:
+        rs = RankOpStats()
+        deadline = time.monotonic() + self.watchdog_s * 2
+        acc: dict[int, np.ndarray] = {rank: piece}
+        for rnd in lowered.gather_rounds:
+            for src, dst in rnd:
+                if src == rank:
+                    nbytes = sum(
+                        int(p.size) * SCALAR_BYTES for p in acc.values()
+                    )
+                    self._chan[(rank, dst)].put(acc)
+                    acc = {}
+                    self._wire(rs, rank, dst, nbytes)
+                elif dst == rank:
+                    self._pending[rank] = f"reduce gather from rank {src}"
+                    t0 = time.perf_counter()
+                    got = self._chan[(src, rank)].get(
+                        deadline, self._abort, lambda: None
+                    )
+                    rs.wait_s += time.perf_counter() - t0
+                    self._pending.pop(rank, None)
+                    acc.update(got)
+        value = combine_pieces(acc, op) if rank == 0 else None
+        for rnd in lowered.bcast_rounds:
+            for src, dst in rnd:
+                if src == rank:
+                    self._chan[(rank, dst)].put(value)
+                    self._wire(rs, rank, dst, SCALAR_BYTES)
+                elif dst == rank:
+                    self._pending[rank] = f"reduce bcast from rank {src}"
+                    t0 = time.perf_counter()
+                    value = self._chan[(src, rank)].get(
+                        deadline, self._abort, lambda: None
+                    )
+                    rs.wait_s += time.perf_counter() - t0
+                    self._pending.pop(rank, None)
+        self._barrier_wait(rank, rs)
+        return float(value), rs
+
+    @staticmethod
+    def _wire(rs: RankOpStats, src: int, dst: int, nbytes: int) -> None:
+        rs.sends += 1
+        rs.bytes_sent += nbytes
+        pair = (src, dst)
+        rs.pair_msgs[pair] = rs.pair_msgs.get(pair, 0) + 1
+        rs.pair_bytes[pair] = rs.pair_bytes.get(pair, 0) + nbytes

@@ -1,0 +1,112 @@
+"""Bench-history records and machine-model calibration."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.machine.model import SP2, MachineModel, calibrated_model, fit_linear_cost
+from repro.perf.history import (
+    HISTORY_FILE,
+    append_history,
+    compile_headline,
+    spmd_headline,
+    transport_headline,
+)
+
+
+class TestHistory:
+    def test_append_is_one_json_line_per_record(self, tmp_path):
+        path = tmp_path / HISTORY_FILE
+        append_history("compile", {"total_s": 1.0}, path=str(path))
+        append_history("spmd", {"ok": True}, path=str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["kind"] == "compile" and first["total_s"] == 1.0
+        assert second["kind"] == "spmd" and second["ok"] is True
+        for record in (first, second):
+            assert "timestamp" in record
+            assert "commit" in record  # may be None outside git
+
+    def test_directory_places_file_next_to_bench_output(self, tmp_path):
+        append_history("transport", {"ok": True}, directory=str(tmp_path))
+        assert (tmp_path / HISTORY_FILE).exists()
+
+    def test_headline_extractors(self):
+        compile_payload = {
+            "programs": {"a": {"total_s": 0.5}, "b": {"total_s": 0.25}},
+            "ablation": {"speedup": 2.0},
+        }
+        h = compile_headline(compile_payload)
+        assert h["programs"] == 2
+        assert h["total_s"] == 0.75
+        assert h["ablation_speedup"] == 2.0
+
+        spmd_payload = {
+            "mode": "quick", "strategy": "comb", "ok": True,
+            "programs": {
+                "a": {"vectorized": {"wall_s": 0.1}, "speedup": 3.0},
+                "b": {"vectorized": {"wall_s": 0.2}, "speedup": 5.0},
+            },
+        }
+        h = spmd_headline(spmd_payload)
+        assert h["vec_wall_s"] == pytest.approx(0.3)
+        assert h["median_speedup"] == 5.0
+
+        transport_payload = {
+            "mode": "quick", "ok": True,
+            "backends": {
+                "inline": {"programs": {"a": {"wall_s": 0.1}}},
+            },
+            "calibration": {
+                "inline": {"bandwidth_bps": 1e9, "startup_s": 1e-6},
+            },
+        }
+        h = transport_headline(transport_payload)
+        assert h["backends"] == ["inline"]
+        assert h["wall_s"]["inline"] == pytest.approx(0.1)
+        assert h["calibrated_bandwidth_bps"]["inline"] == 1e9
+
+
+class TestCalibration:
+    def test_fit_recovers_linear_model(self):
+        startup, bandwidth = 50e-6, 100e6
+        sizes = [64, 1024, 8192, 65536]
+        times = [startup + n / bandwidth for n in sizes]
+        fit_c, fit_b = fit_linear_cost(sizes, times)
+        assert fit_c == pytest.approx(startup, rel=1e-6)
+        assert fit_b == pytest.approx(bandwidth, rel=1e-6)
+
+    def test_flat_times_charge_startup(self):
+        # Handshake-dominated regime: time independent of size.
+        sizes = [64, 1024, 8192]
+        times = [1e-3, 1e-3, 1e-3]
+        fit_c, fit_b = fit_linear_cost(sizes, times)
+        assert fit_c == pytest.approx(1e-3)
+        assert fit_b > 0
+
+    def test_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            fit_linear_cost([], [])
+        with pytest.raises(ValueError):
+            fit_linear_cost([1, 2], [0.1])
+        # Single size: everything attributed to throughput.
+        fit_c, fit_b = fit_linear_cost([4096], [1e-4])
+        assert fit_c >= 0 and fit_b > 0
+
+    def test_calibrated_model_inherits_curves(self):
+        model = calibrated_model("host-test", 25e-6, 2e9)
+        assert isinstance(model, MachineModel)
+        assert model.startup_s == pytest.approx(25e-6)
+        assert model.bandwidth_bps == pytest.approx(2e9)
+        assert model.cache_bytes == SP2.cache_bytes
+        assert model.bcopy_mem_bps == SP2.bcopy_mem_bps
+        # Injection overhead keeps the base's inject/startup ratio.
+        assert model.inject_s / model.startup_s == pytest.approx(
+            SP2.inject_s / SP2.startup_s
+        )
+        # The model is usable by the simulator's cost functions.
+        assert model.message_time(1024) > 0
+        assert model.reduce_time(8, 4) > 0

@@ -1,0 +1,453 @@
+"""Transport-layer suite: backend equivalence, wire accounting,
+collective lowering, and the deadlock watchdog.
+
+The three message-passing backends must be invisible optimizations:
+for every Figure 10 program under every placement strategy, the final
+arrays are bitwise-identical to the legacy direct-copy executor, and
+the measured per-pair wire bytes equal the plan-time predictions
+exactly (the executor asserts this per operation; these tests
+additionally check the cumulative totals against
+``CommPlan.pair_bytes``).  A mismatched send/receive schedule must
+raise a structured ``DeadlockError`` — never hang, never leak worker
+threads or processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import Strategy, compile_program
+from repro.evaluation.programs import BENCHMARKS
+from repro.runtime.spmd import SPMDExecutor, execute_spmd
+from repro.transport import (
+    BACKENDS,
+    DeadlockError,
+    InlineTransport,
+    TransportError,
+    make_transport,
+)
+from repro.transport.base import combine_pieces
+from repro.transport.lowering import (
+    lower_comm,
+    lower_reduction,
+    reduction_tree,
+)
+
+SMALL = {
+    "shallow": {"n": 8, "nsteps": 2, "pr": 2, "pc": 2},
+    "gravity": {"n": 8, "pr": 2, "pc": 2},
+    "trimesh": {"n": 8, "nsweeps": 2, "pr": 2, "pc": 2},
+    "trimesh_gauss": {"n": 8, "nsweeps": 2, "pr": 2, "pc": 2},
+    "hydflo_flux": {"n": 8, "nsteps": 1, "pr": 2, "pc": 2},
+    "hydflo_hydro": {"n": 8, "nsteps": 2, "pr": 2, "pc": 2},
+}
+
+#: Distributed → replicated copy on four ranks: classifies as allgather
+#: and (P=4 ≥ 3, unmasked, all-rank destinations) lowers to the ring.
+ALLGATHER_SRC = """
+PROGRAM ag
+  PARAM n = 12
+  PROCESSORS p(4)
+  REAL b(n)
+  REAL r(n)
+  DISTRIBUTE b(BLOCK) ONTO p
+  DO i = 1, 2
+    b(1:n) = b(1:n) + 1.0
+    r(1:n) = b(1:n)
+    b(1:n) = b(1:n) * 0.5 + r(1:n) * 0.25
+  END DO
+END
+"""
+
+#: Diagonal read: pHPF-style augmented exchange whose second phase
+#: forwards corner data the first phase delivered.
+DIAGONAL_SRC = """
+PROGRAM diag
+  PARAM n = 8
+  PROCESSORS p(2, 2)
+  REAL a(n, n)
+  REAL b(n, n)
+  DISTRIBUTE a(BLOCK, BLOCK) ONTO p
+  DISTRIBUTE b(BLOCK, BLOCK) ONTO p
+  DO k = 1, 2
+    a(2:n, 2:n) = b(1:n-1, 1:n-1)
+    b(2:n, 2:n) = a(2:n, 2:n) * 0.5
+  END DO
+END
+"""
+
+
+def _compile(program: str, strategy: Strategy):
+    return compile_program(
+        BENCHMARKS[program], params=SMALL[program], strategy=strategy
+    )
+
+
+def _run_transport(result, backend: str):
+    executor = SPMDExecutor(result, transport=backend)
+    try:
+        stats = executor.run()
+        state = executor.assemble()
+        wire = executor.wire
+        plans = list(executor._comm_plans.values())
+    finally:
+        executor.close()
+    return state, stats, wire, plans, executor
+
+
+# ---------------------------------------------------------------------------
+# Equivalence: six programs x three strategies x three backends
+# ---------------------------------------------------------------------------
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("program", sorted(BENCHMARKS))
+    @pytest.mark.parametrize("strategy", list(Strategy))
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_bitwise_identical_and_exact_wire_accounting(
+        self, program, strategy, backend
+    ):
+        result = _compile(program, strategy)
+        ref_state, ref_stats = execute_spmd(result)
+        state, stats, wire, plans, executor = _run_transport(
+            result, backend
+        )
+
+        # Bitwise-identical final arrays.
+        assert set(state) == set(ref_state)
+        for name in ref_state:
+            np.testing.assert_array_equal(
+                state[name], ref_state[name],
+                err_msg=f"{program}/{strategy.value}/{backend}: {name}",
+            )
+
+        # Plan-level counters match the legacy executor exactly.
+        assert stats.messages == ref_stats.messages
+        assert stats.bytes_moved == ref_stats.bytes_moved
+        assert stats.reductions == ref_stats.reductions
+
+        # The cumulative wire ledger is internally consistent.
+        assert wire.bytes_sent == sum(wire.pair_bytes.values())
+        assert wire.messages == sum(wire.pair_msgs.values())
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    @pytest.mark.parametrize("strategy", list(Strategy))
+    @pytest.mark.parametrize("program", sorted(BENCHMARKS))
+    def test_per_pair_bytes_match_commplan_exactly(
+        self, program, strategy, backend
+    ):
+        """The property test of the issue: with collectives disabled
+        (so the lowering is the plan's own point-to-point shape), the
+        transport-measured per-pair byte totals equal the sum of
+        ``CommPlan.pair_bytes()`` over every firing, plus the reduction
+        receipts — exactly, for all six programs x strategies x
+        backends."""
+        result = _compile(program, strategy)
+        executor = SPMDExecutor(
+            result, transport=backend, collectives=False
+        )
+        expected: dict[tuple[int, int], int] = {}
+        plain_exec = executor._execute_plan_transport
+
+        def spying_exec(plan, kind):
+            for pair, n in plan.pair_bytes().items():
+                expected[pair] = expected.get(pair, 0) + n
+            plain_exec(plan, kind)
+
+        executor._execute_plan_transport = spying_exec
+        plain_reduce = executor.transport.reduce
+
+        def spying_reduce(pieces, op):
+            value, receipt = plain_reduce(pieces, op)
+            for pair, n in receipt.pair_bytes.items():
+                expected[pair] = expected.get(pair, 0) + n
+            return value, receipt
+
+        executor.transport.reduce = spying_reduce
+        try:
+            executor.run()
+            assert executor.wire.pair_bytes == expected
+        finally:
+            executor.close()
+
+
+class TestCollectiveEndToEnd:
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_ring_allgather(self, backend):
+        result = compile_program(ALLGATHER_SRC, strategy=Strategy.GLOBAL)
+        ref, _ = execute_spmd(result)
+        state, _stats, wire, _plans, _ex = _run_transport(result, backend)
+        for name in ref:
+            np.testing.assert_array_equal(state[name], ref[name])
+        assert wire.algorithms.get("ring-allgather", 0) > 0
+        # Ring property: traffic only between ring neighbours.
+        nranks = 4
+        for (src, dst) in wire.pair_bytes:
+            assert dst == (src + 1) % nranks
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_augmented_diagonal_exchange(self, backend):
+        result = compile_program(DIAGONAL_SRC, strategy=Strategy.GLOBAL)
+        ref, _ = execute_spmd(result)
+        state, _stats, wire, _plans, _ex = _run_transport(result, backend)
+        for name in ref:
+            np.testing.assert_array_equal(state[name], ref[name])
+        assert wire.algorithms.get("augmented-exchange", 0) > 0
+
+    def test_ring_conserves_bytes_vs_pointwise(self):
+        """The ring moves exactly the same total bytes as the direct
+        broadcast: each piece travels P-1 hops instead of being sent to
+        P-1 destinations."""
+        result = compile_program(ALLGATHER_SRC, strategy=Strategy.GLOBAL)
+        ring_ex = SPMDExecutor(result, transport="inline")
+        flat_ex = SPMDExecutor(
+            result, transport="inline", collectives=False
+        )
+        try:
+            ring_ex.run()
+            flat_ex.run()
+            ring_ag = [
+                low for low in ring_ex._lowered.values()
+                if low.algorithm == "ring-allgather"
+            ]
+            flat_ag = [
+                low for low in flat_ex._lowered.values()
+                if low.algorithm == "pointwise"
+                and len(low.rounds) == len(ring_ag[0].rounds) - 2
+            ]
+            assert ring_ag
+            for low in ring_ag:
+                # Total bytes equal the pointwise lowering of the same
+                # plan (P-1 hops of each piece == P-1 direct copies).
+                total = sum(low.predicted_pairs.values())
+                per_round = sum(
+                    s.nbytes for s in low.rounds[0] if not s.is_local
+                )
+                assert total == per_round * len(low.rounds)
+        finally:
+            ring_ex.close()
+            flat_ex.close()
+
+
+# ---------------------------------------------------------------------------
+# Lowering units
+# ---------------------------------------------------------------------------
+
+
+class TestReductionLowering:
+    @pytest.mark.parametrize("nranks", [1, 2, 3, 4, 5, 8, 13])
+    def test_tree_depth_and_coverage(self, nranks):
+        rounds = reduction_tree(nranks)
+        expected_depth = max(0, (nranks - 1).bit_length())
+        assert len(rounds) == expected_depth
+        senders = [src for rnd in rounds for src, _ in rnd]
+        # Every non-root rank sends exactly once; rank 0 never sends.
+        assert sorted(senders) == list(range(1, nranks))
+
+    def test_predictions_account_growing_payloads(self):
+        lowered = lower_reduction("SUM", {0: 8, 1: 8, 2: 8, 3: 8}, 4)
+        # Gather: (1->0, 3->2) with 8 bytes each, then 2->0 with 16.
+        assert lowered.predicted_pairs[(1, 0)] == 8
+        assert lowered.predicted_pairs[(3, 2)] == 8
+        assert lowered.predicted_pairs[(2, 0)] == 16
+        # Broadcast: 8-byte scalar down the reversed edges.
+        assert lowered.predicted_pairs[(0, 2)] == 8
+        assert lowered.predicted_pairs[(0, 1)] == 8
+        assert lowered.predicted_pairs[(2, 3)] == 8
+
+    def test_combine_pieces_is_rank_sorted(self):
+        pieces = {
+            2: np.array([3.0, 4.0]),
+            0: np.array([1.0]),
+            1: np.array([2.0]),
+        }
+        legacy = float(
+            np.concatenate([pieces[0], pieces[1], pieces[2]]).sum()
+        )
+        assert combine_pieces(pieces, "SUM") == legacy
+        with pytest.raises(TransportError):
+            combine_pieces({}, "SUM")
+        with pytest.raises(TransportError):
+            combine_pieces({0: np.array([1.0])}, "PROD")
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    @pytest.mark.parametrize("op", ["SUM", "MAX", "MIN"])
+    def test_backend_reduce_bitwise_matches_concat(self, backend, op):
+        rng = np.random.default_rng(7)
+        pieces = {r: rng.standard_normal(5 + r) for r in range(4)}
+        expected = combine_pieces(pieces, op)
+        transport = make_transport(backend, 4, watchdog_s=10.0)
+        try:
+            transport.start({r: {} for r in range(4)})
+            value, receipt = transport.reduce(pieces, op)
+        finally:
+            transport.shutdown()
+        assert value == expected
+        assert receipt.pair_bytes == lower_reduction(
+            op, {r: p.size * 8 for r, p in pieces.items()}, 4
+        ).predicted_pairs
+
+
+# ---------------------------------------------------------------------------
+# CommPlan cache scoping (regression)
+# ---------------------------------------------------------------------------
+
+
+class TestPlanCacheGridScope:
+    def test_cache_key_includes_grid_shape(self):
+        """Cached CommPlans must never be shared across rank-grid
+        shapes: the key carries the grid."""
+        result = _compile("shallow", Strategy.GLOBAL)
+        executor = SPMDExecutor(result)
+        try:
+            executor.run()
+            assert executor._comm_plans
+            for key in executor._comm_plans:
+                grid_shape = key[0]
+                assert grid_shape == executor.grid.shape
+        finally:
+            executor.close()
+
+    def test_different_grids_produce_disjoint_keys(self):
+        keys = {}
+        for pr, pc in [(2, 2), (1, 4)]:
+            params = dict(SMALL["shallow"], pr=pr, pc=pc)
+            result = compile_program(
+                BENCHMARKS["shallow"], params=params,
+                strategy=Strategy.GLOBAL,
+            )
+            executor = SPMDExecutor(result)
+            executor.run()
+            keys[(pr, pc)] = set(executor._comm_plans)
+        for key_a in keys[(2, 2)]:
+            assert key_a[0] == (2, 2)
+        for key_b in keys[(1, 4)]:
+            assert key_b[0] == (1, 4)
+        assert not (keys[(2, 2)] & keys[(1, 4)])
+
+
+# ---------------------------------------------------------------------------
+# Deadlock watchdog
+# ---------------------------------------------------------------------------
+
+
+def _tampered_scripts(transport, lowered):
+    """A genuinely mismatched schedule: drop one rank's first expected
+    receive's matching send, so the receiver waits forever."""
+    scripts = transport._scripts_for(lowered)
+    for rank in sorted(scripts):
+        for rnd in scripts[rank]:
+            if rnd["send"]:
+                victim = rnd["send"][0]
+                rnd["send"] = rnd["send"][1:]
+                return scripts, victim
+    raise AssertionError("no wire sends to tamper with")
+
+
+class TestDeadlockWatchdog:
+    @pytest.mark.parametrize("backend", ["threaded", "multiprocess"])
+    def test_mismatched_schedule_raises_structured_deadlock(
+        self, backend
+    ):
+        result = _compile("shallow", Strategy.GLOBAL)
+        executor = SPMDExecutor(
+            result, transport=backend, watchdog_s=1.5
+        )
+        transport = executor.transport
+        try:
+            # Build one real lowered op without running the program:
+            # compile the first non-reduction placed op's plan the same
+            # way _fire would, then tamper with its schedule.
+            ops = [
+                op
+                for anchor in executor.schedule.anchors
+                for op in executor.schedule.ops_at(anchor)
+                if op.kind != "reduction"
+            ]
+            assert ops
+            op = ops[0]
+            node = executor.result.ctx.node_of(op.position)
+            sections = tuple(
+                executor._concrete_section(entry, node)
+                for entry in op.entries
+            )
+            plan = executor.planner.compile_op(op, sections)
+            lowered = lower_comm(op.kind, plan, len(executor.ranks))
+            scripts, victim = _tampered_scripts(transport, lowered)
+
+            with pytest.raises(DeadlockError) as err:
+                transport._dispatch(scripts, lowered.algorithm)
+
+            d = err.value.to_dict()
+            assert d["error"] == "deadlock"
+            assert d["backend"] == backend
+            assert d["timeout_s"] == pytest.approx(1.5)
+            assert d["stuck"], "diagnostic must name stuck ranks"
+            stuck_ranks = {s["rank"] for s in d["stuck"]}
+            assert victim.dst in stuck_ranks
+            if backend == "threaded":
+                # Stack dumps of the stuck workers.
+                assert any(
+                    "_run_op" in s for s in d["stacks"].values()
+                )
+
+            # Poisoned: further operations refuse to run.
+            with pytest.raises(TransportError):
+                transport.execute(lowered)
+        finally:
+            executor.close()
+
+        # No zombies: every worker wound down.
+        if backend == "threaded":
+            assert not [
+                t for t in threading.enumerate()
+                if t.name.startswith("transport-rank-")
+            ]
+        else:
+            assert not [
+                p for p in mp.active_children()
+                if p.name.startswith("transport-rank-")
+            ]
+
+    def test_watchdog_does_not_fire_on_healthy_runs(self):
+        result = _compile("shallow", Strategy.GLOBAL)
+        state, _stats, _wire, _plans, _ex = _run_transport(
+            result, "threaded"
+        )
+        ref, _ = execute_spmd(result)
+        for name in ref:
+            np.testing.assert_array_equal(state[name], ref[name])
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle hygiene
+# ---------------------------------------------------------------------------
+
+
+class TestLifecycle:
+    def test_shutdown_is_idempotent(self):
+        transport = make_transport("multiprocess", 2)
+        transport.create_storage([(0, "x", (4,)), (1, "x", (4,))])
+        storage = {0: {}, 1: {}}
+        transport.start(storage)
+        transport.shutdown()
+        transport.shutdown()
+        assert not [
+            p for p in mp.active_children()
+            if p.name.startswith("transport-rank-")
+        ]
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(TransportError):
+            make_transport("carrier-pigeon", 4)
+
+    def test_none_spec_keeps_legacy_path(self):
+        assert make_transport(None, 4) is None
+
+    def test_instance_passthrough(self):
+        t = InlineTransport(4)
+        assert make_transport(t, 4) is t

@@ -18,7 +18,7 @@ import sys
 
 from .codegen.report import annotated_listing, schedule_report
 from .core.context import CompilerOptions
-from .core.pipeline import Strategy, compile_all_strategies, compile_program
+from .core.pipeline import Strategy, compile_program
 from .errors import Diagnostic, ReproError
 from .machine.model import MACHINES
 from .runtime.checker import check_schedule
@@ -72,11 +72,62 @@ def _emit_diagnostics(
             print(d.format(filename), file=sys.stderr)
 
 
+def _pass_options(args: argparse.Namespace) -> CompilerOptions:
+    """CompilerOptions from the compile flags, validating pass names."""
+    from .core.passes import registered_passes
+
+    passes = registered_passes()
+
+    def check(name: str, disabling: bool) -> str:
+        if name not in passes:
+            known = ", ".join(sorted(passes))
+            print(f"error: unknown pass {name!r} (known: {known})",
+                  file=sys.stderr)
+            raise _CliExit(2)
+        if disabling and not passes[name].optimization:
+            print(f"error: pass {name!r} is structural and cannot be "
+                  f"disabled", file=sys.stderr)
+            raise _CliExit(2)
+        return name
+
+    disabled = tuple(check(n, True) for n in args.disable_pass)
+    pipeline = None
+    if args.pipeline:
+        pipeline = tuple(
+            check(n.strip(), False)
+            for n in args.pipeline.split(",") if n.strip()
+        )
+    return CompilerOptions(
+        strict=args.strict,
+        disabled_passes=disabled,
+        pass_pipeline=pipeline,
+    )
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
+    options = _pass_options(args)
+    if args.list_passes:
+        from .core.passes import format_pass_list, list_passes
+
+        print(format_pass_list(list_passes(options)))
+        return 0
+    if not args.file:
+        print("error: compile: a source file is required "
+              "(or use --list-passes)", file=sys.stderr)
+        return 2
     source = _read_source(args.file)
     params = _parse_params(args.param)
     strategies = list(Strategy) if args.all else [Strategy.parse(args.strategy)]
-    options = CompilerOptions(strict=args.strict)
+    from .core.passes import registered_passes
+
+    known_passes = registered_passes()
+    dump_after = tuple(args.dump_after)
+    for name in dump_after:
+        if name not in known_passes:
+            known = ", ".join(sorted(known_passes))
+            print(f"error: unknown pass {name!r} (known: {known})",
+                  file=sys.stderr)
+            return 2
 
     # Recovery pre-pass: surface every syntax error in one run (up to
     # --max-errors) instead of stopping at the first.
@@ -90,15 +141,30 @@ def cmd_compile(args: argparse.Namespace) -> int:
         return 1
 
     diagnostics: list[Diagnostic] = []
+    trace_records: list[dict] = []
+    machine_output = args.diagnostics_json or args.trace_json
     for strategy in strategies:
         try:
-            result = compile_program(source, params or None, strategy, options)
+            result = compile_program(
+                source, params or None, strategy, options,
+                dump_after=dump_after, dump_stream=sys.stderr,
+            )
         except ReproError as exc:
             diagnostics.append(exc.diagnostic())
-            _emit_diagnostics(diagnostics, args.file, args.diagnostics_json)
+            if args.diagnostics_json:
+                _emit_diagnostics(diagnostics, args.file, as_json=True)
+            elif args.trace_json:
+                print(exc.diagnostic().format(args.file), file=sys.stderr)
+            else:
+                _emit_diagnostics(diagnostics, args.file, as_json=False)
             return 1
         diagnostics.extend(d.diagnostic() for d in result.degradations)
-        if args.diagnostics_json:
+        trace_records.append({
+            "strategy": strategy.value,
+            "call_sites": result.call_sites(),
+            "passes": [t.to_dict() for t in result.pass_traces],
+        })
+        if machine_output:
             continue  # machine output only: suppress the human report
         for event in result.degradations:
             print(event.diagnostic().format(args.file), file=sys.stderr)
@@ -115,6 +181,10 @@ def cmd_compile(args: argparse.Namespace) -> int:
         print()
     if args.diagnostics_json:
         _emit_diagnostics(diagnostics, args.file, as_json=True)
+    if args.trace_json:
+        print(json.dumps(
+            {"file": args.file, "strategies": trace_records}, indent=2
+        ))
     return 0
 
 
@@ -288,7 +358,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("compile", help="compile a mini-HPF program")
-    p.add_argument("file")
+    p.add_argument("file", nargs="?",
+                   help="mini-HPF source file (optional with --list-passes)")
     p.add_argument("--strategy", default="comb",
                    help="orig | nored | comb (default comb)")
     p.add_argument("--all", action="store_true",
@@ -308,6 +379,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--diagnostics-json", action="store_true",
                    help="emit diagnostics (errors and degradation "
                         "warnings) as JSON on stdout")
+    p.add_argument("--trace-json", action="store_true",
+                   help="emit the per-pass trace (wall time, degradation, "
+                        "stats) as JSON on stdout")
+    p.add_argument("--dump-after", action="append", default=[],
+                   metavar="PASS",
+                   help="dump entries/CommSet/schedule state to stderr "
+                        "after PASS runs (repeatable)")
+    p.add_argument("--disable-pass", action="append", default=[],
+                   metavar="NAME",
+                   help="skip the named optimization pass (repeatable; "
+                        "structural passes cannot be disabled)")
+    p.add_argument("--pipeline", default=None, metavar="A,B,C",
+                   help="run this comma-separated pass list instead of the "
+                        "strategy's default pipeline")
+    p.add_argument("--list-passes", action="store_true",
+                   help="list registered passes with their paper section "
+                        "and enabled state, then exit")
     p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser("simulate", help="simulate all three versions")

@@ -23,8 +23,6 @@ from ..sections.symbolic import SymSection
 from .entries import CommEntry
 from .patterns import (
     AllGatherMapping,
-    CommPattern,
-    GeneralMapping,
     ReductionMapping,
     ShiftMapping,
     mappings_combinable,

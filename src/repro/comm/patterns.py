@@ -26,7 +26,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
-from ..affine import Affine, NonAffineError
+from ..affine import NonAffineError
 from ..distribution.layout import DistFormat, Layout
 from ..frontend import ast_nodes as ast
 from ..frontend.analysis import ProgramInfo

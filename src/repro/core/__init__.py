@@ -2,6 +2,18 @@
 its §6 extensions."""
 
 from .context import AnalysisContext, CompilerOptions
+from .passes import (
+    PIPELINES,
+    PassManager,
+    PassTrace,
+    PlacementPass,
+    PlacementRun,
+    build_pipeline,
+    format_pass_list,
+    list_passes,
+    register_pass,
+    registered_passes,
+)
 from .pipeline import (
     CompilationResult,
     Strategy,
@@ -16,11 +28,21 @@ __all__ = [
     "AnalysisContext",
     "CompilationResult",
     "CompilerOptions",
+    "PIPELINES",
+    "PassManager",
+    "PassTrace",
     "PlacedComm",
+    "PlacementPass",
+    "PlacementRun",
     "PlacementState",
     "Strategy",
     "analyze_entries",
+    "build_pipeline",
     "compile_all_strategies",
     "compile_program",
+    "format_pass_list",
+    "list_passes",
     "place",
+    "register_pass",
+    "registered_passes",
 ]

@@ -8,12 +8,11 @@ argument and the pipeline builds the whole stack once.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..comm.entries import CommEntry, SectionBuilder
 from ..comm.patterns import PatternClassifier
 from ..dependence.tests import DependenceTester
-from ..frontend import ast_nodes as ast
 from ..frontend.analysis import ProgramInfo
 from ..ir.cfg import CFG, Node, Position
 from ..ir.dominators import DominatorInfo
@@ -63,6 +62,15 @@ class CompilerOptions:
     # uses the exact §6.1 branch-and-bound where tractable, degrading to
     # greedy when the search space is exceeded.
     placement_search: str = "greedy"  # 'greedy' | 'ilp'
+    # Pass-manager configuration (see repro.core.passes).  Optimization
+    # passes named here are skipped (CLI --disable-pass); a non-None
+    # pass_pipeline replaces the strategy's named pass list outright with
+    # an explicit ordering (CLI --pipeline a,b,c).  Orderings other than
+    # the defaults are for experiments: the manager keeps every run sound
+    # via the Latest-placement terminal fallback, but schedules may lose
+    # optimizations that depend on the canonical §4.5→§4.6→§4.7 order.
+    disabled_passes: tuple[str, ...] = ()
+    pass_pipeline: "tuple[str, ...] | None" = None
 
 
 class AnalysisContext:

@@ -22,6 +22,7 @@ from ..comm.entries import CommEntry
 from ..errors import PlacementError
 from ..ir.cfg import Position
 from .context import AnalysisContext
+from .passes import PlacementPass, PlacementRun, register_pass
 from .state import PlacedComm, PlacementState
 
 
@@ -202,3 +203,37 @@ def _final_position(
         # constraints each contain their discovery position which dominates
         # it... if even that fails, keep the pin.
         return fallback
+
+
+@register_pass
+class GreedyCombinePass(PlacementPass):
+    """§4.7 adapter: greedy combining with push-late group placement.
+
+    On fault the manager resets every elimination (an elimination is only
+    sound if the final placement honors its coverage constraints, which
+    the fallback does not consult) and :meth:`recover` emits the Latest
+    placement.
+    """
+
+    name = "greedy"
+    section = "§4.7"
+    description = "pin, group, and push-late combine surviving entries"
+    needs_state = True
+    mutates_entries = True
+    fallback_desc = "every entry at its Latest point"
+
+    def run(self, run: PlacementRun) -> dict[str, int]:
+        from . import pipeline as pl  # late: monkeypatchable namespace
+
+        assert run.state is not None
+        run.placed = pl.greedy_choose(run.ctx, run.state)
+        return {"groups": len(run.placed)}
+
+    def recover(self, run: PlacementRun) -> dict[str, int]:
+        from . import pipeline as pl
+
+        run.placed = pl._latest_placement(run.entries)
+        stats: dict[str, int] = {"groups": len(run.placed)}
+        if "redundant" in run.stats:
+            stats["redundant"] = 0
+        return stats

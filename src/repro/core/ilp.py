@@ -247,3 +247,53 @@ def pairwise_conflicts(ctx: AnalysisContext, entries: list[CommEntry]) -> int:
         if not (a.candidate_set() & b.candidate_set()):
             conflicts += 1
     return conflicts
+
+
+from .passes import PlacementPass, PlacementRun, register_pass  # noqa: E402
+
+
+@register_pass
+class ILPCombinePass(PlacementPass):
+    """§6.1 adapter: exact combining where tractable.
+
+    An intractable or failing solve degrades to the §4.7 greedy heuristic
+    inside this pass (emitting an ``ilp`` event); if the greedy fallback
+    *also* fails, the manager's boundary fires under the name ``greedy``
+    and :meth:`recover` emits the Latest placement — the same two-level
+    degradation ladder the monolithic pipeline implemented by nesting
+    try/except blocks.
+    """
+
+    name = "ilp"
+    section = "§6.1"
+    description = "exact branch-and-bound combining, greedy on overflow"
+    needs_state = True
+    mutates_entries = True
+    fault_name = "greedy"  # the outer boundary guards the greedy fallback
+    fallback_desc = "every entry at its Latest point"
+
+    def run(self, run: PlacementRun) -> dict[str, int]:
+        from . import pipeline as pl  # late: monkeypatchable namespace
+        from .faults import DegradationEvent
+
+        assert run.state is not None
+        if run.options.strict:
+            run.placed = pl.ilp_choose(run.ctx, run.state)
+            return {"groups": len(run.placed)}
+        try:
+            run.placed = pl.ilp_choose(run.ctx, run.state)
+        except Exception as exc:
+            run.faults.append(DegradationEvent.from_exception(
+                "ilp", exc, "greedy combining (§4.7 heuristic)"
+            ))
+            run.placed = pl.greedy_choose(run.ctx, run.state)
+        return {"groups": len(run.placed)}
+
+    def recover(self, run: PlacementRun) -> dict[str, int]:
+        from . import pipeline as pl
+
+        run.placed = pl._latest_placement(run.entries)
+        stats: dict[str, int] = {"groups": len(run.placed)}
+        if "redundant" in run.stats:
+            stats["redundant"] = 0
+        return stats

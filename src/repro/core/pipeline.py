@@ -14,19 +14,28 @@
 
 :func:`compile_program` runs parse → elaborate → scalarize → CFG/SSA →
 classify → place and returns a :class:`CompilationResult` with the
-schedule, counts, and everything needed by the simulator and reports.
+schedule, counts, per-pass traces, and everything needed by the
+simulator and reports.
 
-Every optimization pass runs inside a **fault boundary** (see
-:mod:`repro.core.faults`): because ``Latest(u)`` is always a sound
+Placement itself is orchestrated by the :class:`~repro.core.passes.PassManager`:
+each strategy is a named pass list (see :data:`repro.core.passes.PIPELINES`),
+and every optimization pass runs inside the manager's **fault boundary**
+(see :mod:`repro.core.faults`): because ``Latest(u)`` is always a sound
 placement, a pass that raises degrades — per-entry for the analyses,
-whole-pass for the set-shrinking passes — instead of failing the compile.
+whole-pass with :meth:`PlacementState.clone` snapshot/rollback for the
+set-shrinking passes — instead of failing the compile.
 ``CompilerOptions(strict=True)`` turns the boundaries off.
+
+The pass implementations are invoked through *this module's namespace*
+(``pipeline.subset_eliminate`` and so on), so chaos harnesses can break
+any pass with a single ``monkeypatch.setattr`` on this module.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Optional, TextIO
 
 from ..comm.entries import CommEntry
 from ..errors import InternalCompilerError, ReproError
@@ -41,6 +50,13 @@ from .earliest import compute_earliest
 from .faults import DegradationEvent
 from .greedy import greedy_choose, ilp_choose
 from .latest import compute_latest
+from .passes import (
+    PassManager,
+    PassTrace,
+    PlacementPass,
+    PlacementRun,
+    register_pass,
+)
 from .redundancy import redundancy_eliminate, subsumes_at
 from .state import PlacedComm, PlacementState
 from .subset import subset_eliminate
@@ -80,6 +96,9 @@ class CompilationResult:
 
     ``degradations`` lists every fault-boundary fallback taken during this
     compile (empty for a clean run); the schedule is sound either way.
+    ``pass_traces`` holds one :class:`~repro.core.passes.PassTrace` per
+    executed pass — wall time, degradation flag, and counters — surfaced
+    by the CLI's ``--trace-json`` and the perf bench harness.
     """
 
     ctx: AnalysisContext
@@ -88,6 +107,7 @@ class CompilationResult:
     placed: list[PlacedComm]
     stats: dict[str, int] = field(default_factory=dict)
     degradations: list[DegradationEvent] = field(default_factory=list)
+    pass_traces: list[PassTrace] = field(default_factory=list)
 
     @property
     def degraded(self) -> bool:
@@ -189,94 +209,26 @@ def place(
     entries: list[CommEntry],
     strategy: Strategy,
     faults: list[DegradationEvent] | None = None,
+    traces: list[PassTrace] | None = None,
+    dump_after: tuple[str, ...] = (),
+    dump_stream: Optional[TextIO] = None,
 ) -> tuple[list[PlacedComm], dict[str, int]]:
     """Run one placement strategy over analyzed entries.
 
-    The set-shrinking passes (subset, redundancy) and the final combining
-    pass degrade whole-pass: a snapshot of the :class:`PlacementState` is
-    taken before each mutation so a midway failure rolls back cleanly, and
-    a failing combining pass abandons all eliminations and emits the
-    latest-placement schedule.
+    Thin wrapper over the :class:`~repro.core.passes.PassManager`: the
+    strategy resolves to a pass list (honoring ``options.pass_pipeline``,
+    ``options.disabled_passes``, and ``options.placement_search``) and
+    the manager supplies the snapshot/rollback fault boundary, the
+    degradation events, and — when ``traces`` is given — one
+    :class:`PassTrace` per executed pass.
     """
-    strict = ctx.options.strict
     if faults is None:
         faults = []
-    stats: dict[str, int] = {"entries": len(entries)}
-
-    if strategy is Strategy.ORIG:
-        return _latest_placement(entries), stats
-
-    if strategy is Strategy.EARLIEST:
-        try:
-            placed = _place_earliest(ctx, entries, stats)
-        except Exception as exc:
-            if strict:
-                raise
-            _reset_eliminations(entries)
-            placed = _latest_placement(entries)
-            stats["redundant"] = 0
-            faults.append(DegradationEvent.from_exception(
-                "earliest-placement", exc, "every entry at its Latest point"
-            ))
-        return placed, stats
-
-    state = PlacementState(ctx, entries)
-    if ctx.options.enable_subset_elimination:
-        snapshot = state.clone()
-        try:
-            stats["subset_emptied"] = subset_eliminate(ctx, state)
-        except Exception as exc:
-            if strict:
-                raise
-            state = snapshot  # discard partial deactivations
-            stats["subset_emptied"] = 0
-            faults.append(DegradationEvent.from_exception(
-                "subset", exc, "pass skipped (all candidates kept)"
-            ))
-    if ctx.options.enable_redundancy_elimination:
-        snapshot = state.clone()
-        try:
-            stats["redundant"] = redundancy_eliminate(ctx, state)
-        except Exception as exc:
-            if strict:
-                raise
-            # The pass mutates entries (eliminated_by/absorbed) as well as
-            # the state; roll both back.
-            _reset_eliminations(entries)
-            state = snapshot
-            stats["redundant"] = 0
-            faults.append(DegradationEvent.from_exception(
-                "redundancy", exc, "pass rolled back (no eliminations)"
-            ))
-    try:
-        if ctx.options.placement_search == "ilp":
-            try:
-                placed = ilp_choose(ctx, state)
-            except Exception as exc:
-                if strict:
-                    raise
-                faults.append(DegradationEvent.from_exception(
-                    "ilp", exc, "greedy combining (§4.7 heuristic)"
-                ))
-                placed = greedy_choose(ctx, state)
-        else:
-            placed = greedy_choose(ctx, state)
-    except Exception as exc:
-        if strict:
-            raise
-        # Combining failed: abandon every refinement.  Eliminated entries
-        # must come back alive — their elimination is only sound if the
-        # final group placement honors the coverage constraints, which the
-        # fallback does not consult.
-        _reset_eliminations(entries)
-        if "redundant" in stats:
-            stats["redundant"] = 0
-        placed = _latest_placement(entries)
-        faults.append(DegradationEvent.from_exception(
-            "greedy", exc, "every entry at its Latest point"
-        ))
-    stats["groups"] = len(placed)
-    return placed, stats
+    manager = PassManager.for_strategy(
+        strategy, ctx.options, dump_after=dump_after, dump_stream=dump_stream
+    )
+    run = manager.execute(ctx, entries, faults, traces)
+    return run.placed, run.stats
 
 
 def _place_earliest(
@@ -328,14 +280,89 @@ def _place_earliest(
     return placed
 
 
+# ---------------------------------------------------------------------------
+# Pipeline-level passes (analysis and the two single-pass strategies).
+# The set-shrinking/combining passes register next to their
+# implementations in subset.py / redundancy.py / greedy.py / ilp.py.
+# ---------------------------------------------------------------------------
+
+
+@register_pass
+class AnalyzePass(PlacementPass):
+    """§4.2–4.4: Latest/Earliest walks and candidate-chain construction.
+
+    Fault handling is *per entry* inside :func:`analyze_entries` (a flaky
+    analysis pins one entry, not the whole program), so the manager's
+    whole-pass boundary stays out of the way: an exception escaping the
+    per-entry boundaries is a structural failure and propagates.
+    """
+
+    name = "analyze"
+    section = "§4.2-4.4"
+    description = "Latest/Earliest analysis and candidate chains, per entry"
+    optimization = False  # the algorithm cannot run without its inputs
+    sound = True
+
+    def run(self, run: PlacementRun) -> Optional[dict[str, int]]:
+        run.entries = analyze_entries(run.ctx, run.faults)
+        return None
+
+
+@register_pass
+class LatestPlacementPass(PlacementPass):
+    """§4.2 terminal pass: every entry, alone, at its Latest point.
+
+    This *is* the soundness floor every boundary falls back to, so it has
+    no fault boundary of its own — a failure here is a compiler bug and
+    surfaces as :class:`InternalCompilerError`.
+    """
+
+    name = "latest-placement"
+    section = "§4.2"
+    description = "message-vectorized baseline: each entry at Latest"
+    optimization = False
+    sound = True
+
+    def run(self, run: PlacementRun) -> Optional[dict[str, int]]:
+        run.placed = _latest_placement(run.entries)
+        return None
+
+
+@register_pass
+class EarliestPlacementPass(PlacementPass):
+    """§4.3-style dataflow scheme: Earliest placement plus forward
+    redundancy elimination (the ``nored`` column of Figure 10)."""
+
+    name = "earliest-placement"
+    section = "§4.3"
+    description = "hoist to Earliest with forward redundancy elimination"
+    mutates_entries = True  # forward elimination marks roll back on fault
+    fallback_desc = "every entry at its Latest point"
+
+    def run(self, run: PlacementRun) -> dict[str, int]:
+        from . import pipeline as pl  # late: monkeypatchable namespace
+
+        run.placed = pl._place_earliest(run.ctx, run.entries, run.stats)
+        return {"redundant": run.stats.get("redundant", 0)}
+
+    def recover(self, run: PlacementRun) -> dict[str, int]:
+        run.placed = _latest_placement(run.entries)
+        return {"redundant": 0}
+
+
 def compile_program(
     source: "str | ast.Program",
     params: dict[str, int] | None = None,
     strategy: "str | Strategy" = Strategy.GLOBAL,
     options: CompilerOptions | None = None,
+    dump_after: tuple[str, ...] = (),
+    dump_stream: Optional[TextIO] = None,
 ) -> CompilationResult:
     """Front door: compile mini-HPF source (or a parsed program) and place
     its communication with the chosen strategy.
+
+    ``dump_after`` names passes whose working state should be dumped as
+    text (to ``dump_stream``, default stdout) right after they run.
 
     Crash-free frontier: any failure surfaces as a :class:`ReproError`
     subclass — an unexpected exception (a compiler bug) is wrapped in
@@ -346,6 +373,7 @@ def compile_program(
     strat = Strategy.parse(strategy)  # bad strategy names raise ValueError
     opts = options or CompilerOptions()
     faults: list[DegradationEvent] = []
+    traces: list[PassTrace] = []
     try:
         program = parse(source) if isinstance(source, str) else source
         info = elaborate(program, params)
@@ -353,8 +381,11 @@ def compile_program(
         info = elaborate(scalarized, params)
 
         ctx = AnalysisContext(info, opts)
-        entries = analyze_entries(ctx, faults)
-        placed, stats = place(ctx, entries, strat, faults)
+        manager = PassManager.for_strategy(
+            strat, opts, include_analysis=True,
+            dump_after=dump_after, dump_stream=dump_stream,
+        )
+        run = manager.execute(ctx, [], faults, traces)
     except ReproError:
         raise
     except Exception as exc:
@@ -363,13 +394,17 @@ def compile_program(
         raise InternalCompilerError(
             f"unexpected {type(exc).__name__} during compilation: {exc}"
         ) from exc
-    return CompilationResult(ctx, strat, entries, placed, stats, faults)
+    return CompilationResult(
+        ctx, strat, run.entries, run.placed, run.stats, faults, traces
+    )
 
 
 def compile_all_strategies(
     source: "str | ast.Program",
     params: dict[str, int] | None = None,
     options: CompilerOptions | None = None,
+    dump_after: tuple[str, ...] = (),
+    dump_stream: Optional[TextIO] = None,
 ) -> dict[Strategy, CompilationResult]:
     """Compile once per strategy over one shared analysis context.
 
@@ -399,9 +434,13 @@ def compile_all_strategies(
     results: dict[Strategy, CompilationResult] = {}
     for strat in Strategy:
         faults: list[DegradationEvent] = []
+        traces: list[PassTrace] = []
         try:
-            entries = analyze_entries(ctx, faults)
-            placed, stats = place(ctx, entries, strat, faults)
+            manager = PassManager.for_strategy(
+                strat, opts, include_analysis=True,
+                dump_after=dump_after, dump_stream=dump_stream,
+            )
+            run = manager.execute(ctx, [], faults, traces)
         except ReproError:
             raise
         except Exception as exc:
@@ -411,6 +450,6 @@ def compile_all_strategies(
                 f"unexpected {type(exc).__name__} during compilation: {exc}"
             ) from exc
         results[strat] = CompilationResult(
-            ctx, strat, entries, placed, stats, faults
+            ctx, strat, run.entries, run.placed, run.stats, faults, traces
         )
     return results

@@ -24,6 +24,7 @@ from ..comm.entries import CommEntry
 from ..comm.patterns import mapping_subsumes
 from ..ir.cfg import Position
 from .context import AnalysisContext
+from .passes import PlacementPass, PlacementRun, register_pass
 from .state import PlacementState
 
 
@@ -151,3 +152,28 @@ def redundancy_eliminate(ctx: AnalysisContext, state: PlacementState) -> int:
                             ).append(constraint)
                         eliminated += 1
     return eliminated
+
+
+@register_pass
+class RedundancyEliminationPass(PlacementPass):
+    """§4.6 adapter: dominance-aware global redundancy elimination."""
+
+    name = "redundancy"
+    section = "§4.6"
+    description = "eliminate communications fully covered by another"
+    needs_state = True
+    mutates_state = True
+    mutates_entries = True  # eliminated_by/absorbed marks roll back too
+    fallback_desc = "pass rolled back (no eliminations)"
+
+    def enabled(self, options) -> bool:
+        return options.enable_redundancy_elimination
+
+    def run(self, run: PlacementRun) -> dict[str, int]:
+        from . import pipeline as pl  # late: monkeypatchable namespace
+
+        assert run.state is not None
+        return {"redundant": pl.redundancy_eliminate(run.ctx, run.state)}
+
+    def recover(self, run: PlacementRun) -> dict[str, int]:
+        return {"redundant": 0}

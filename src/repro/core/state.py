@@ -10,7 +10,7 @@ elimination" at that step).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..comm.entries import CommEntry
 from ..errors import PlacementError

@@ -14,7 +14,8 @@ added (§6) — the ablation benchmark exercises exactly that switch.
 from __future__ import annotations
 
 from ..ir.cfg import Position
-from .context import AnalysisContext
+from .context import AnalysisContext, CompilerOptions
+from .passes import PlacementPass, PlacementRun, register_pass
 from .state import PlacementState
 
 
@@ -59,3 +60,27 @@ def subset_eliminate(ctx: AnalysisContext, state: PlacementState) -> int:
         for eid in sets[p]:
             state.deactivate(state.by_id[eid], p)
     return len(doomed)
+
+
+@register_pass
+class SubsetEliminationPass(PlacementPass):
+    """§4.5 adapter: empty positions offering strictly less combining."""
+
+    name = "subset"
+    section = "§4.5"
+    description = "empty CommSets that are subsets of another position's"
+    needs_state = True
+    mutates_state = True
+    fallback_desc = "pass skipped (all candidates kept)"
+
+    def enabled(self, options: CompilerOptions) -> bool:
+        return options.enable_subset_elimination
+
+    def run(self, run: PlacementRun) -> dict[str, int]:
+        from . import pipeline as pl  # late: monkeypatchable namespace
+
+        assert run.state is not None
+        return {"subset_emptied": pl.subset_eliminate(run.ctx, run.state)}
+
+    def recover(self, run: PlacementRun) -> dict[str, int]:
+        return {"subset_emptied": 0}

@@ -17,13 +17,13 @@ from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..affine import Affine, NonAffineError
 from ..errors import DependenceError
 from ..frontend import ast_nodes as ast
 from ..frontend.analysis import ProgramInfo
-from ..ir.cfg import CFG, Loop, Node, NodeKind
+from ..ir.cfg import CFG, Loop
 from ..perf.stats import CacheStats
 from .subscripts import LoopContext, common_prefix_length
 

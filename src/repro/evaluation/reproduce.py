@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.context import CompilerOptions
-from ..core.pipeline import Strategy, compile_all_strategies
+from ..core.pipeline import compile_all_strategies
 from ..machine.model import MACHINES
 from .fig5_profile import profile_machine
 from .fig10_charts import CHART_SPECS, run_chart

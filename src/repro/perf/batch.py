@@ -43,7 +43,7 @@ from concurrent.futures import (
     ProcessPoolExecutor,
 )
 from concurrent.futures import TimeoutError as FuturesTimeout
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field as dc_field, fields
 from typing import Iterable, Optional
 
 from ..core.context import CompilerOptions
@@ -75,6 +75,7 @@ class BatchResult:
     elapsed: float
     from_cache: bool = False
     error: str = ""
+    pass_times_ms: dict[str, float] = dc_field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -113,6 +114,11 @@ def _compile_job(job: BatchJob, key: str) -> BatchResult:
             elapsed=time.perf_counter() - start,
             error=f"{type(exc).__name__}: {exc}",
         )
+    pass_times: dict[str, float] = {}
+    for trace in result.pass_traces:
+        pass_times[trace.name] = (
+            pass_times.get(trace.name, 0.0) + trace.wall_s * 1000
+        )
     return BatchResult(
         name=job.name,
         key=key,
@@ -122,6 +128,7 @@ def _compile_job(job: BatchJob, key: str) -> BatchResult:
         entries=len(result.entries),
         eliminated=len(result.eliminated_entries()),
         elapsed=time.perf_counter() - start,
+        pass_times_ms={k: round(v, 3) for k, v in pass_times.items()},
     )
 
 

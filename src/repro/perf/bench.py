@@ -115,7 +115,7 @@ def profile_compile(
         place_best = min(place_best, dt)
     phases["place"] = place_best
 
-    total, _ = _best_of(
+    total, result = _best_of(
         repeats, lambda: compile_program(source, params, options=options)
     )
     n_entries = len(entries)
@@ -125,6 +125,7 @@ def profile_compile(
         "entries": n_entries,
         "entries_per_s": round(n_entries / total, 1) if total else None,
         "cache_hit_rates": _cache_rates(ctx),
+        "passes": [t.to_dict() for t in result.pass_traces],
     }
 
 

@@ -72,12 +72,24 @@ def append_history(
 def compile_headline(payload: dict[str, Any]) -> dict[str, Any]:
     programs = payload.get("programs", {})
     ab = payload.get("ablation", {})
+    pass_wall: dict[str, float] = {}
+    pass_deactivated: dict[str, int] = {}
+    for prog in programs.values():
+        for trace in prog.get("passes", []):
+            name = trace["pass"]
+            pass_wall[name] = pass_wall.get(name, 0.0) + trace["wall_s"]
+            pass_deactivated[name] = (
+                pass_deactivated.get(name, 0)
+                + trace.get("stats", {}).get("deactivated", 0)
+            )
     return {
         "programs": len(programs),
         "total_s": round(
             sum(p.get("total_s", 0.0) for p in programs.values()), 4
         ),
         "ablation_speedup": ab.get("speedup"),
+        "pass_wall_s": {k: round(v, 6) for k, v in pass_wall.items()},
+        "pass_deactivated": pass_deactivated,
     }
 
 

@@ -36,13 +36,32 @@ class TestHistory:
 
     def test_headline_extractors(self):
         compile_payload = {
-            "programs": {"a": {"total_s": 0.5}, "b": {"total_s": 0.25}},
+            "programs": {
+                "a": {
+                    "total_s": 0.5,
+                    "passes": [
+                        {"pass": "subset", "wall_s": 0.01,
+                         "stats": {"deactivated": 5}},
+                        {"pass": "greedy", "wall_s": 0.02,
+                         "stats": {"deactivated": 0}},
+                    ],
+                },
+                "b": {
+                    "total_s": 0.25,
+                    "passes": [
+                        {"pass": "subset", "wall_s": 0.03,
+                         "stats": {"deactivated": 7}},
+                    ],
+                },
+            },
             "ablation": {"speedup": 2.0},
         }
         h = compile_headline(compile_payload)
         assert h["programs"] == 2
         assert h["total_s"] == 0.75
         assert h["ablation_speedup"] == 2.0
+        assert h["pass_wall_s"] == {"subset": 0.04, "greedy": 0.02}
+        assert h["pass_deactivated"] == {"subset": 12, "greedy": 0}
 
         spmd_payload = {
             "mode": "quick", "strategy": "comb", "ok": True,

@@ -5,7 +5,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.candidates import mark_candidates, verify_candidates
+from repro.core.candidates import verify_candidates
 from repro.errors import PlacementError
 from conftest import analyzed
 

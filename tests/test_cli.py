@@ -118,6 +118,106 @@ class TestCompile:
         assert main(["compile", program_file, "--strict"]) == 0
 
 
+class TestPassFlags:
+    def test_list_passes(self, capsys):
+        assert main(["compile", "--list-passes"]) == 0
+        out = capsys.readouterr().out
+        for name in ("analyze", "subset", "redundancy", "greedy",
+                     "latest-placement", "earliest-placement", "ilp"):
+            assert name in out
+        assert "§4.5" in out and "§6.1" in out
+
+    def test_list_passes_reflects_disable(self, capsys):
+        assert main(
+            ["compile", "--list-passes", "--disable-pass", "greedy"]
+        ) == 0
+        greedy_row = next(
+            ln for ln in capsys.readouterr().out.splitlines()
+            if ln.startswith("greedy")
+        )
+        assert " no " in greedy_row
+
+    def test_no_file_without_list_passes(self, capsys):
+        assert main(["compile"]) == 2
+        assert "source file is required" in capsys.readouterr().err
+
+    def test_trace_json(self, program_file, capsys):
+        import json
+
+        assert main(["compile", program_file, "--trace-json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["file"] == program_file
+        (record,) = payload["strategies"]
+        assert record["strategy"] == "comb"
+        names = [t["pass"] for t in record["passes"]]
+        assert names == ["analyze", "subset", "redundancy", "greedy"]
+        for trace in record["passes"]:
+            assert trace["wall_s"] >= 0
+            assert trace["degraded"] is False
+
+    def test_trace_json_all_strategies(self, program_file, capsys):
+        import json
+
+        assert main(
+            ["compile", program_file, "--all", "--trace-json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [r["strategy"] for r in payload["strategies"]] == [
+            "orig", "nored", "comb",
+        ]
+
+    def test_dump_after(self, program_file, capsys):
+        assert main(
+            ["compile", program_file, "--dump-after", "subset"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "== dump after pass 'subset'" in err
+
+    def test_dump_after_unknown_pass(self, program_file, capsys):
+        assert main(
+            ["compile", program_file, "--dump-after", "nope"]
+        ) == 2
+        assert "unknown pass 'nope'" in capsys.readouterr().err
+
+    def test_disable_pass(self, program_file, capsys):
+        assert main(
+            ["compile", program_file, "--disable-pass", "greedy", "--check"]
+        ) == 0
+        assert "schedule verified" in capsys.readouterr().out
+
+    def test_disable_unknown_pass(self, program_file, capsys):
+        assert main(
+            ["compile", program_file, "--disable-pass", "nope"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "unknown pass 'nope'" in err and "greedy" in err
+
+    def test_disable_structural_pass_rejected(self, program_file, capsys):
+        assert main(
+            ["compile", program_file, "--disable-pass", "analyze"]
+        ) == 2
+        assert "structural" in capsys.readouterr().err
+
+    def test_custom_pipeline(self, program_file, capsys):
+        import json
+
+        assert main(
+            ["compile", program_file, "--pipeline", "subset,greedy",
+             "--trace-json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (record,) = payload["strategies"]
+        assert [t["pass"] for t in record["passes"]] == [
+            "analyze", "subset", "greedy",
+        ]
+
+    def test_bad_pipeline_name(self, program_file, capsys):
+        assert main(
+            ["compile", program_file, "--pipeline", "subset,nope"]
+        ) == 2
+        assert "unknown pass 'nope'" in capsys.readouterr().err
+
+
 class TestOtherCommands:
     def test_simulate(self, program_file, capsys):
         assert main(["simulate", program_file, "--machine", "NOW"]) == 0

@@ -9,7 +9,6 @@ below the tester is also exact, which each test asserts.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.frontend import ast_nodes as ast
 from repro.frontend.analysis import elaborate

@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import PlacementError
 from repro.frontend.parser import parse
-from repro.ir.cfg import CFG, Node, Position
+from repro.ir.cfg import CFG, Position
 from repro.ir.dominators import DominatorInfo
 
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 
 from repro.core.earliest import earliest_def
 from repro.ir.cfg import NodeKind
-from repro.ir.ssa import EntryDef, PhiDef, RegularDef
+from repro.ir.ssa import EntryDef, PhiDef
 from conftest import analyzed
 
 

@@ -15,7 +15,7 @@ from repro.core import redundancy as redundancy_mod
 from repro.core.pipeline import Strategy, compile_program
 from repro.dependence import tests as dep_mod
 from repro.dependence.tests import DepResult
-from repro.errors import ReproError, SimulationError
+from repro.errors import ReproError
 from repro.runtime.checker import check_schedule
 from repro.runtime.spmd import execute_spmd
 

@@ -1,0 +1,52 @@
+"""Byte-identical schedules across the pass-manager refactor.
+
+``tests/golden/schedules.json`` was generated from the pre-refactor
+pipeline (the hand-rolled strategy dispatch with per-pass try/except
+blocks).  Every benchmark x strategy record captures the full schedule —
+positions, combined groups, eliminations — plus the simulator's message
+counts and communication time on the SP2 model.  The pass-manager
+pipeline must reproduce all of it exactly: the refactor moved the fault
+boundaries and tracing into a framework, it must not move a single
+communication.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.pipeline import Strategy, compile_program
+from repro.evaluation.programs import BENCHMARKS
+from repro.machine.model import MACHINES
+from repro.runtime.simulator import simulate
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden", "schedules.json")
+
+
+def schedule_record(result):
+    report = simulate(result, MACHINES["SP2"])
+    return {
+        "call_sites": result.call_sites(),
+        "call_sites_by_kind": result.call_sites_by_kind(),
+        "eliminated": sorted(e.label for e in result.eliminated_entries()),
+        "schedule": [
+            [str(pc.position), sorted(e.label for e in pc.entries)]
+            for pc in result.placed
+        ],
+        "messages_per_proc": report.messages_per_proc,
+        "sim_comm_us": round(report.comm_time * 1e6, 3),
+    }
+
+
+with open(GOLDEN) as fh:
+    GOLDEN_RECORDS = json.load(fh)
+
+
+@pytest.mark.parametrize("bench_name", sorted(BENCHMARKS))
+@pytest.mark.parametrize("strategy", list(Strategy))
+def test_schedule_matches_golden(bench_name, strategy):
+    result = compile_program(BENCHMARKS[bench_name], strategy=strategy)
+    assert not result.degradations
+    assert (
+        schedule_record(result) == GOLDEN_RECORDS[bench_name][strategy.value]
+    )

@@ -2,14 +2,10 @@
 
 from __future__ import annotations
 
-from repro.comm.compatibility import entries_combinable, message_volume
+from repro.comm.compatibility import message_volume
 from repro.core.context import CompilerOptions
-from repro.core.greedy import greedy_choose
 from repro.core.pipeline import Strategy, compile_program
-from repro.core.redundancy import redundancy_eliminate
-from repro.core.state import PlacementState
-from repro.core.subset import subset_eliminate
-from conftest import analyzed, compile_to_context
+from conftest import analyzed
 
 
 SRC_TWO_ARRAYS = """

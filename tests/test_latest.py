@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.core.latest import comm_level, reaching_regular_defs
+from repro.core.latest import reaching_regular_defs
 from repro.ir.cfg import NodeKind
 from conftest import analyzed
 

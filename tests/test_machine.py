@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.evaluation.fig5_profile import profile_machine, run_all, size_axis
-from repro.machine.model import MACHINES, NOW, SP2, MachineModel
+from repro.machine.model import MACHINES, NOW, SP2
 
 
 class TestPointToPoint:

@@ -7,7 +7,6 @@ import pytest
 
 from repro.core.pipeline import Strategy, compile_all_strategies, compile_program
 from repro.evaluation.programs import BENCHMARKS
-from conftest import analyzed
 
 
 class TestFigure4:

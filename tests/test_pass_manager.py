@@ -1,0 +1,278 @@
+"""Pass-manager framework tests: registry, pipeline configuration,
+per-pass traces, dumps, disable/reorder behavior, and the fault-boundary
+regressions that used to live in four hand-rolled try/except blocks.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.core import pipeline as pl
+from repro.core.context import CompilerOptions
+from repro.core.passes import (
+    PIPELINES,
+    build_pipeline,
+    format_pass_list,
+    list_passes,
+    registered_passes,
+    resolve_pass,
+)
+from repro.core.pipeline import Strategy, compile_program
+from repro.evaluation.programs import BENCHMARKS
+from repro.runtime.checker import check_schedule
+
+SOURCE = """
+PROGRAM victim
+  PARAM n = 12
+  PROCESSORS p(3)
+  REAL a(n)
+  REAL b(n)
+  REAL c(n)
+  DISTRIBUTE a(BLOCK) ONTO p
+  DISTRIBUTE b(BLOCK) ONTO p
+  DISTRIBUTE c(BLOCK) ONTO p
+  DO t = 1, 3
+    b(2:n-1) = a(1:n-2) + a(3:n)
+    c(2:n-1) = a(1:n-2)
+    a(2:n-1) = b(2:n-1) + c(2:n-1)
+  END DO
+END PROGRAM
+"""
+
+SMALL = {
+    "shallow": {"n": 8, "nsteps": 2, "pr": 2, "pc": 2},
+    "gravity": {"n": 8, "pr": 2, "pc": 2},
+    "trimesh": {"n": 8, "nsweeps": 2, "pr": 2, "pc": 2},
+    "trimesh_gauss": {"n": 8, "nsweeps": 2, "pr": 2, "pc": 2},
+    "hydflo_flux": {"n": 8, "nsteps": 2, "pr": 2, "pc": 2},
+    "hydflo_hydro": {"n": 8, "nsteps": 2, "pr": 2, "pc": 2},
+}
+
+
+class TestRegistry:
+    def test_standard_passes_registered(self):
+        passes = registered_passes()
+        assert {
+            "analyze", "latest-placement", "earliest-placement",
+            "subset", "redundancy", "greedy", "ilp",
+        } <= set(passes)
+
+    def test_paper_sections(self):
+        passes = registered_passes()
+        assert passes["latest-placement"].section == "§4.2"
+        assert passes["earliest-placement"].section == "§4.3"
+        assert passes["subset"].section == "§4.5"
+        assert passes["redundancy"].section == "§4.6"
+        assert passes["greedy"].section == "§4.7"
+        assert passes["ilp"].section == "§6.1"
+
+    def test_structural_passes_flagged(self):
+        passes = registered_passes()
+        assert not passes["analyze"].optimization
+        assert not passes["latest-placement"].optimization
+        assert passes["greedy"].optimization
+
+    def test_unknown_pass_name(self):
+        with pytest.raises(ValueError, match="unknown pass 'nope'"):
+            resolve_pass("nope")
+
+    def test_list_passes_reports_disabled_state(self):
+        rows = list_passes(CompilerOptions(disabled_passes=("greedy",)))
+        by_name = {r["name"]: r for r in rows}
+        assert not by_name["greedy"]["enabled"]
+        assert by_name["subset"]["enabled"]
+        assert by_name["analyze"]["enabled"]  # structural: never disabled
+        text = format_pass_list(rows)
+        assert "§4.7" in text and "greedy" in text
+
+
+class TestBuildPipeline:
+    def test_named_pipelines_match_strategies(self):
+        assert PIPELINES["orig"] == ("latest-placement",)
+        assert PIPELINES["nored"] == ("earliest-placement",)
+        assert PIPELINES["comb"] == ("subset", "redundancy", "greedy")
+
+    @pytest.mark.parametrize("strategy", list(Strategy))
+    def test_build_resolves_named_pipeline(self, strategy):
+        names = [
+            p.name for p in build_pipeline(strategy, CompilerOptions())
+        ]
+        assert tuple(names) == PIPELINES[strategy.value]
+
+    def test_ilp_search_swaps_the_combiner(self):
+        names = [
+            p.name for p in build_pipeline(
+                Strategy.GLOBAL, CompilerOptions(placement_search="ilp")
+            )
+        ]
+        assert names == ["subset", "redundancy", "ilp"]
+
+    def test_custom_pipeline_overrides_strategy(self):
+        opts = CompilerOptions(pass_pipeline=("subset", "greedy"))
+        names = [p.name for p in build_pipeline(Strategy.GLOBAL, opts)]
+        assert names == ["subset", "greedy"]
+
+    def test_include_analysis_prepends(self):
+        names = [
+            p.name for p in build_pipeline(
+                Strategy.ORIG, CompilerOptions(), include_analysis=True
+            )
+        ]
+        assert names == ["analyze", "latest-placement"]
+
+
+class TestTraces:
+    def test_one_trace_per_executed_pass(self):
+        result = compile_program(SOURCE, strategy="comb")
+        names = [t.name for t in result.pass_traces]
+        assert names == ["analyze", "subset", "redundancy", "greedy"]
+        for trace in result.pass_traces:
+            assert trace.wall_s >= 0
+            assert not trace.degraded
+            for counter in ("deactivated", "eliminated", "cache_hits"):
+                assert counter in trace.stats
+
+    def test_orig_traces(self):
+        result = compile_program(SOURCE, strategy="orig")
+        assert [t.name for t in result.pass_traces] == [
+            "analyze", "latest-placement",
+        ]
+
+    def test_disabled_pass_leaves_no_trace(self):
+        result = compile_program(
+            SOURCE, strategy="comb",
+            options=CompilerOptions(disabled_passes=("redundancy",)),
+        )
+        names = [t.name for t in result.pass_traces]
+        assert names == ["analyze", "subset", "greedy"]
+
+    def test_degraded_pass_trace_flagged(self, monkeypatch):
+        def boom(*a, **k):
+            raise RuntimeError("injected chaos")
+
+        monkeypatch.setattr(pl, "greedy_choose", boom)
+        result = compile_program(SOURCE, strategy="comb")
+        trace = {t.name: t for t in result.pass_traces}["greedy"]
+        assert trace.degraded
+        assert result.degraded
+
+    def test_trace_to_dict_is_json_ready(self):
+        result = compile_program(SOURCE, strategy="comb")
+        payload = json.dumps([t.to_dict() for t in result.pass_traces])
+        records = json.loads(payload)
+        assert records[0]["pass"] == "analyze"
+        assert set(records[0]) == {
+            "pass", "section", "wall_s", "degraded", "stats",
+        }
+
+
+class TestDumps:
+    def test_dump_after_writes_state(self):
+        stream = io.StringIO()
+        result = compile_program(
+            SOURCE, strategy="comb",
+            dump_after=("subset", "greedy"), dump_stream=stream,
+        )
+        text = stream.getvalue()
+        assert "== dump after pass 'subset'" in text
+        assert "== dump after pass 'greedy'" in text
+        assert "CommSet over" in text
+        assert "schedule:" in text  # greedy dump includes the schedule
+        assert result.placed
+
+
+class TestDisableAndReorder:
+    def test_disabling_combiner_degrades_to_orig_schedule(self):
+        """With no combining pass the terminal fallback emits the Latest
+        placement — exactly the ORIG schedule, eliminations abandoned."""
+        disabled = compile_program(
+            SOURCE, strategy="comb",
+            options=CompilerOptions(disabled_passes=("greedy",)),
+        )
+        orig = compile_program(SOURCE, strategy="orig")
+        assert not disabled.eliminated_entries()
+        assert disabled.stats.get("redundant", 0) == 0
+        assert [pc.position for pc in disabled.placed] == [
+            pc.position for pc in orig.placed
+        ]
+        assert not disabled.degradations  # disabling is not a fault
+
+    def test_custom_pipeline_compiles_soundly(self):
+        result = compile_program(
+            SOURCE, strategy="comb",
+            options=CompilerOptions(pass_pipeline=("redundancy", "greedy")),
+        )
+        assert [t.name for t in result.pass_traces] == [
+            "analyze", "redundancy", "greedy",
+        ]
+        check_schedule(result)
+
+    @pytest.mark.parametrize("bench_name", sorted(BENCHMARKS))
+    @pytest.mark.parametrize(
+        "disabled", ["subset", "redundancy", "greedy"]
+    )
+    def test_any_single_pass_disabled_stays_sound(
+        self, bench_name, disabled
+    ):
+        """Satellite property: every benchmark still produces an
+        oracle-accepted schedule with any one optimization pass off."""
+        result = compile_program(
+            BENCHMARKS[bench_name], params=SMALL[bench_name],
+            strategy="comb",
+            options=CompilerOptions(disabled_passes=(disabled,)),
+        )
+        assert not result.degradations
+        stats = check_schedule(result)
+        assert stats.reads_checked > 0
+
+
+class TestFaultBoundaryRegressions:
+    def test_midpass_earliest_fault_yields_sound_latest(self, monkeypatch):
+        """Regression for the folded EARLIEST boundary: a crash *midway*
+        through the nored placement (after some forward eliminations may
+        already be marked) must roll entries back and emit the Latest
+        schedule, not a half-eliminated hybrid."""
+        real = pl.subsumes_at
+        calls = {"n": 0}
+
+        def dies_late(ctx, winner, loser, pos):
+            calls["n"] += 1
+            if calls["n"] > 2:
+                raise RuntimeError("injected chaos")
+            return real(ctx, winner, loser, pos)
+
+        monkeypatch.setattr(pl, "subsumes_at", dies_late)
+        result = compile_program(SOURCE, strategy="nored")
+        assert calls["n"] > 2, "injection point never reached"
+        events = [
+            e for e in result.degradations
+            if e.pass_name == "earliest-placement"
+        ]
+        assert events
+        assert not result.eliminated_entries()
+        assert result.stats.get("redundant", 0) == 0
+        orig = compile_program(SOURCE, strategy="orig")
+        assert [pc.position for pc in result.placed] == [
+            pc.position for pc in orig.placed
+        ]
+        check_schedule(result)
+
+    def test_strict_mode_reraises_midpass_fault(self, monkeypatch):
+        real = pl.subsumes_at
+        calls = {"n": 0}
+
+        def dies_late(ctx, winner, loser, pos):
+            calls["n"] += 1
+            if calls["n"] > 2:
+                raise RuntimeError("injected chaos")
+            return real(ctx, winner, loser, pos)
+
+        monkeypatch.setattr(pl, "subsumes_at", dies_late)
+        with pytest.raises(RuntimeError, match="injected chaos"):
+            compile_program(
+                SOURCE, strategy="nored",
+                options=CompilerOptions(strict=True),
+            )

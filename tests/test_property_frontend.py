@@ -14,7 +14,7 @@ from repro.frontend.parser import parse
 from repro.frontend.scalarizer import scalarize
 from repro.ir.cfg import CFG
 from repro.ir.dominators import DominatorInfo
-from repro.ir.ssa import SSA, EntryDef, PhiDef, RegularDef
+from repro.ir.ssa import SSA, PhiDef, RegularDef
 from repro.runtime.interp import interpret
 
 N = 12

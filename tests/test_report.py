@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.codegen.report import annotated_listing, schedule_report
 from repro.codegen.spmd import anchor_of_position, lower_schedule

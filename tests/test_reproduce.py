@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from repro.evaluation.reproduce import (
-    CheckResult,
     Reproduction,
     check_dynamic_oracles,
     check_fig5,

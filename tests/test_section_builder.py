@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro.errors import PlacementError
 from conftest import analyzed, compile_to_context
 
 

@@ -302,6 +302,17 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.kernels:
+        from .perf.kernelbench import format_kernel_bench, write_kernel_bench
+
+        output = args.output
+        if output == "BENCH_compile.json":  # default belongs to compile mode
+            output = "BENCH_kernels.json"
+        payload = write_kernel_bench(path=output, quick=args.quick)
+        print(format_kernel_bench(payload))
+        print(f"\nwrote {output}")
+        return 0 if payload["ok"] else 1
+
     if args.transport:
         from .perf.transportbench import (
             DEFAULT_BACKENDS,
@@ -472,9 +483,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backends", default=None, metavar="LIST",
                    help="with --transport: comma-separated backend subset "
                         "(default inline,threaded,multiprocess)")
+    p.add_argument("--kernels", action="store_true",
+                   help="kernel scaling benchmark instead: sweep the fused "
+                        "per-rank kernel tier vs the vectorized baseline "
+                        "over P in {4,16,64,256}; writes BENCH_kernels.json")
     p.add_argument("--quick", action="store_true",
-                   help="with --spmd/--transport: small problem sizes for "
-                        "CI smoke runs")
+                   help="with --spmd/--transport/--kernels: small problem "
+                        "sizes for CI smoke runs")
     p.set_defaults(func=cmd_bench)
     return parser
 

@@ -1,0 +1,464 @@
+"""Source emission for fused per-rank runtime kernels.
+
+The vectorized SPMD executor interprets every nest firing: it walks the
+RHS expression tree in Python, re-derives per-rank iteration boxes and
+numpy index tuples, and re-counts remote reads with RSD arithmetic.  All
+of that is geometry — constant for a given (nest, concrete per-rank
+layout) pair.  This module lowers that geometry one level further into
+*source text*: a specialized Python function per (nest, geometry) key
+whose body is
+
+* one fused statement computing the shadow block over prebound aligned
+  views (no AST walk, no per-reference temporaries),
+* straight-line per-rank validity/staleness checks against prebound
+  storage and shadow views (the oracle survives compilation),
+* straight-line per-rank stores with the iteration-box slices and
+  store-order transposes baked in as literals.
+
+Subscript offsets that vary across firings (an enclosing loop variable
+indexing a serial array dimension — gravity's ``g(i, :, :)``) become
+runtime arguments: the emitted index expressions reference ``_q{n}``
+instead of a literal, so one compiled kernel serves every iteration.
+Offsets along *distributed* dimensions change rank participation and
+mark the nest kernel-ineligible (the vectorized interpreter path keeps
+it, with the reason recorded).
+
+Two compute tiers share the checks/stores skeleton:
+
+* **python** — the fused numpy statement described above;
+* **numba** — :func:`loop_source` emits the same RHS as flattened
+  strided scalar loops over the full iteration box, suitable for
+  ``numba.njit``; the runtime wraps and falls back to the python tier
+  when numba is absent or compilation fails.
+
+:func:`pack_source` / :func:`unpack_source` emit the transfer-buffer
+kernels the transport backends use: gather a send's indexed box straight
+into a pooled (or shared-memory) wire buffer and scatter it back into
+rank storage, with the index tuple baked in — no intermediate block
+copy, identical payload bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from ..frontend import ast_nodes as ast
+from ..runtime.plans import ConcreteNest, NestPlan
+
+__all__ = [
+    "DynDim",
+    "NestSpec",
+    "analyze_kernel_spec",
+    "emit_index",
+    "fused_rhs_source",
+    "loop_source",
+    "pack_source",
+    "unpack_source",
+    "slice_literal",
+]
+
+
+# ---------------------------------------------------------------------------
+# Static kernel analysis: which parts of a nest vary across firings
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DynDim:
+    """One subscript dimension whose base offset is a runtime argument:
+    argument ``arg`` plus the plan-time affine rest of the subscript."""
+
+    arg: int  # index into the kernel's dynamic-offset argument list
+
+
+@dataclass
+class NestSpec:
+    """Per-sid static kernel analysis, shared by every geometry key.
+
+    ``dyn_args`` holds the distinct affine base forms evaluated per
+    firing (deduplicated — ``g(i, ...)`` and ``glast(i, ...)`` share one
+    argument); ``dyn_dims`` maps ``(ref kind, ref id, dim)`` to the
+    argument feeding that dimension.  ``scal_args`` lists the non-nest
+    scalar variables the RHS reads, resolved per firing through the
+    shadow interpreter's lookup (so mutated scalars stay fresh).
+    ``reason`` non-None marks the nest kernel-ineligible.
+    """
+
+    plan: NestPlan
+    dyn_args: list = field(default_factory=list)  # Affine forms, ordered
+    dyn_dims: dict = field(default_factory=dict)  # (kind, rid, dim) -> DynDim
+    scal_args: list = field(default_factory=list)  # variable names, ordered
+    reason: "str | None" = None
+
+
+def analyze_kernel_spec(plan: NestPlan, info) -> NestSpec:
+    """Classify every subscript base and RHS scalar of ``plan`` as baked
+    or runtime-supplied; reject nests whose varying offsets move along a
+    distributed dimension (rank participation would change per firing).
+    """
+    spec = NestSpec(plan=plan)
+    params = set(info.params)
+    arg_index: dict = {}
+
+    def classify(kind: str, rid, refplan) -> "str | None":
+        layout = info.layout(refplan.name)
+        for d, sp in enumerate(refplan.subs):
+            if sp.base.symbols <= params:
+                continue  # resolvable at kernel-build time
+            if layout.distributed_dims and layout.dims[d].grid_axis is not None:
+                return (
+                    f"subscript of {refplan.name} varies along a "
+                    f"distributed dimension across firings"
+                )
+            if sp.var is not None and sp.coeff < 0:
+                return (
+                    f"negative stride with a varying offset on "
+                    f"{refplan.name}"
+                )
+            arg = arg_index.get(sp.base)
+            if arg is None:
+                arg = arg_index[sp.base] = len(spec.dyn_args)
+                spec.dyn_args.append(sp.base)
+            spec.dyn_dims[(kind, rid, d)] = DynDim(arg)
+        return None
+
+    reason = classify("lhs", 0, plan.lhs)
+    if reason is None:
+        for rid, rp in plan.rhs_refs.items():
+            reason = classify("rhs", rid, rp)
+            if reason is not None:
+                break
+    if reason is not None:
+        spec.reason = reason
+        return spec
+
+    nest_vars = set(plan.vars)
+    seen: set[str] = set()
+
+    def collect(expr: ast.Expr) -> None:
+        # value positions only: subscript variables are geometry, already
+        # classified above, not runtime scalar inputs
+        if isinstance(expr, ast.VarRef):
+            if expr.name not in nest_vars and expr.name not in seen:
+                seen.add(expr.name)
+                spec.scal_args.append(expr.name)
+        elif isinstance(expr, ast.BinOp):
+            collect(expr.left)
+            collect(expr.right)
+        elif isinstance(expr, ast.UnOp):
+            collect(expr.operand)
+        elif isinstance(expr, ast.Intrinsic):
+            for a in expr.args:
+                collect(a)
+
+    collect(plan.assign.rhs)
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# Index emission
+# ---------------------------------------------------------------------------
+
+
+def slice_literal(first: int, stride: int, count: int) -> str:
+    """``first:stop:stride`` source text for a strided run of ``count``
+    elements starting at 0-based ``first``."""
+    last = first + stride * (count - 1)
+    if stride > 0:
+        body = f"{first}:{last + 1}"
+        return body if stride == 1 else f"{body}:{stride}"
+    stop = last - 1
+    return f"{first}:{stop if stop >= 0 else ''}:{stride}"
+
+
+def _dyn_slice(arg: int, off: int, stride: int, count: int) -> str:
+    """Slice text whose endpoints ride on runtime argument ``_q{arg}``."""
+    lo = f"_q{arg} + {off}" if off else f"_q{arg}"
+    hi_off = off + stride * (count - 1) + 1
+    hi = f"_q{arg} + {hi_off}" if hi_off else f"_q{arg}"
+    body = f"{lo}:{hi}"
+    return body if stride == 1 else f"{body}:{stride}"
+
+
+def emit_index(
+    spec: NestSpec, kind: str, rid, refplan, cref, kbox, base_values
+) -> str:
+    """The bracket-index source for one reference restricted to ``kbox``.
+
+    ``base_values`` maps each dimension to the build-time evaluated base
+    (needed to express dynamic offsets relative to the runtime argument).
+    Mirrors :func:`repro.runtime.plans.ref_np_index` exactly for static
+    dimensions.
+    """
+    parts: list[str] = []
+    for d, dim in enumerate(cref.dims):
+        dyn = spec.dyn_dims.get((kind, rid, d))
+        if dim[0] == "p":
+            if dyn is None:
+                parts.append(str(dim[1] - 1))
+            else:
+                parts.append(f"_q{dyn.arg} - 1")
+            continue
+        _, axis, start, stride = dim
+        k0, kstep, kcount = kbox[axis]
+        first = start + stride * k0 - 1
+        st = stride * kstep
+        if dyn is None:
+            parts.append(slice_literal(first, st, kcount))
+        else:
+            parts.append(
+                _dyn_slice(dyn.arg, first - base_values[d], st, kcount)
+            )
+    return ", ".join(parts)
+
+
+def box_slice_literal(kbox) -> str:
+    """Literal index text selecting ``kbox`` out of a full-box block."""
+    return ", ".join(
+        slice_literal(k0, kstep, kcount) for k0, kstep, kcount in kbox
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fused RHS emission (python tier)
+# ---------------------------------------------------------------------------
+
+_CMP = {"==": "==", "/=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+_INTRINSIC_NP = {
+    "SQRT": "_np.sqrt",
+    "ABS": "_np.abs",
+    "EXP": "_np.exp",
+    "LOG": "_np.log",
+    "MOD": "_np.mod",
+    "MIN": "_np.minimum",
+    "MAX": "_np.maximum",
+}
+
+
+def fused_rhs_source(
+    spec: NestSpec, conc: ConcreteNest, ref_exprs: dict
+) -> str:
+    """One expression computing the nest's RHS block.
+
+    ``ref_exprs`` maps ``id(ArrayRef)`` to the source text standing for
+    that reference's aligned block (a prebound view name, or an inline
+    aligner call for dynamic references).  Operator and intrinsic
+    lowering matches :func:`repro.runtime.plans.eval_rhs_block` —
+    identical numpy operations in identical order, so the block is
+    bitwise-identical to the interpreted path's.
+    """
+    var_axis = {v: i for i, v in enumerate(spec.plan.vars)}
+    scal_arg = {
+        name: len(spec.dyn_args) + i for i, name in enumerate(spec.scal_args)
+    }
+
+    def ev(expr: ast.Expr) -> str:
+        if isinstance(expr, ast.Num):
+            return repr(float(expr.value))
+        if isinstance(expr, ast.VarRef):
+            axis = var_axis.get(expr.name)
+            if axis is not None:
+                return f"_ax{axis}"
+            return f"_q{scal_arg[expr.name]}"
+        if isinstance(expr, ast.ArrayRef):
+            return ref_exprs[id(expr)]
+        if isinstance(expr, ast.BinOp):
+            left, right = ev(expr.left), ev(expr.right)
+            if expr.op in ("+", "-", "*", "/"):
+                return f"({left} {expr.op} {right})"
+            if expr.op in _CMP:
+                return (
+                    f"_np.where({left} {_CMP[expr.op]} {right}, 1.0, 0.0)"
+                )
+            if expr.op == "AND":
+                return (
+                    f"_np.where(({left} != 0) & ({right} != 0), 1.0, 0.0)"
+                )
+            if expr.op == "OR":
+                return (
+                    f"_np.where(({left} != 0) | ({right} != 0), 1.0, 0.0)"
+                )
+            raise SimulationError(f"unknown operator {expr.op!r}")
+        if isinstance(expr, ast.UnOp):
+            value = ev(expr.operand)
+            if expr.op == "-":
+                return f"(-{value})"
+            return f"_np.where({value} != 0, 0.0, 1.0)"
+        if isinstance(expr, ast.Intrinsic):
+            fn = _INTRINSIC_NP.get(expr.name)
+            if fn is None:
+                raise SimulationError(f"unknown intrinsic {expr.name!r}")
+            args = ", ".join(ev(a) for a in expr.args)
+            return f"{fn}({args})"
+        raise SimulationError(f"cannot emit kernel source for {expr!r}")
+
+    return ev(spec.plan.assign.rhs)
+
+
+# ---------------------------------------------------------------------------
+# Flattened strided loops (numba tier)
+# ---------------------------------------------------------------------------
+
+_INTRINSIC_SCALAR = {
+    "SQRT": "_math.sqrt({0})",
+    "ABS": "abs({0})",
+    "EXP": "_math.exp({0})",
+    "LOG": "_math.log({0})",
+    "MOD": "({0} % {1})",
+    "MIN": "min({0}, {1})",
+    "MAX": "max({0}, {1})",
+}
+
+
+def loop_source(
+    spec: NestSpec, conc: ConcreteNest, ref_order: list
+) -> str:
+    """Flattened strided scalar loops computing the full-box RHS block
+    element by element — the ``numba.njit``-compilable tier.
+
+    ``ref_order`` fixes the positional array arguments (``id(ArrayRef)``
+    in order); the emitted function signature is
+    ``_loop(out, _a0, ..., _q0, ...)`` with scalar arguments last.
+    Only valid for fully-static nests (no dynamic offsets).
+    """
+    var_axis = {v: i for i, v in enumerate(spec.plan.vars)}
+    arg_of = {rid: i for i, rid in enumerate(ref_order)}
+    scal_arg = {
+        name: len(spec.dyn_args) + i for i, name in enumerate(spec.scal_args)
+    }
+
+    def scalar_index(cref) -> str:
+        parts = []
+        for dim in cref.dims:
+            if dim[0] == "p":
+                parts.append(str(dim[1] - 1))
+                continue
+            _, axis, start, stride = dim
+            if stride == 1:
+                parts.append(f"_k{axis} + {start - 1}")
+            else:
+                parts.append(f"_k{axis} * {stride} + {start - 1}")
+        return ", ".join(parts)
+
+    def ev(expr: ast.Expr) -> str:
+        if isinstance(expr, ast.Num):
+            return repr(float(expr.value))
+        if isinstance(expr, ast.VarRef):
+            axis = var_axis.get(expr.name)
+            if axis is not None:
+                lo_v, step, _ = conc.axes[axis]
+                return f"({lo_v}.0 + {step}.0 * _k{axis})"
+            return f"_q{scal_arg[expr.name]}"
+        if isinstance(expr, ast.ArrayRef):
+            cref = conc.refs[id(expr)]
+            return f"_a{arg_of[id(expr)]}[{scalar_index(cref)}]"
+        if isinstance(expr, ast.BinOp):
+            left, right = ev(expr.left), ev(expr.right)
+            if expr.op in ("+", "-", "*", "/"):
+                return f"({left} {expr.op} {right})"
+            if expr.op in _CMP:
+                return f"(1.0 if {left} {_CMP[expr.op]} {right} else 0.0)"
+            if expr.op == "AND":
+                return (
+                    f"(1.0 if ({left} != 0.0) and ({right} != 0.0) "
+                    f"else 0.0)"
+                )
+            if expr.op == "OR":
+                return (
+                    f"(1.0 if ({left} != 0.0) or ({right} != 0.0) else 0.0)"
+                )
+            raise SimulationError(f"unknown operator {expr.op!r}")
+        if isinstance(expr, ast.UnOp):
+            value = ev(expr.operand)
+            if expr.op == "-":
+                return f"(-{value})"
+            return f"(0.0 if {value} != 0 else 1.0)"
+        if isinstance(expr, ast.Intrinsic):
+            tmpl = _INTRINSIC_SCALAR.get(expr.name)
+            if tmpl is None:
+                raise SimulationError(f"unknown intrinsic {expr.name!r}")
+            return tmpl.format(*[ev(a) for a in expr.args])
+        raise SimulationError(f"cannot emit loop source for {expr!r}")
+
+    arrays = ", ".join(f"_a{i}" for i in range(len(ref_order)))
+    scalars = ", ".join(
+        f"_q{len(spec.dyn_args) + i}" for i in range(len(spec.scal_args))
+    )
+    sig = ", ".join(p for p in ("out", arrays, scalars) if p)
+    lines = [f"def _loop({sig}):"]
+    indent = "    "
+    for axis, count in enumerate(conc.shape):
+        lines.append(f"{indent}for _k{axis} in range({count}):")
+        indent += "    "
+    subscript = ", ".join(f"_k{a}" for a in range(len(conc.shape)))
+    lines.append(f"{indent}out[{subscript}] = {ev(spec.plan.assign.rhs)}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Transfer pack/unpack kernels
+# ---------------------------------------------------------------------------
+
+
+def index_text(index: tuple) -> str:
+    """Bracket text for a concrete numpy index tuple of ints/slices."""
+    parts = []
+    for part in index:
+        if isinstance(part, slice):
+            start = "" if part.start is None else str(part.start)
+            stop = "" if part.stop is None else str(part.stop)
+            body = f"{start}:{stop}"
+            if part.step not in (None, 1):
+                body += f":{part.step}"
+            parts.append(body)
+        else:
+            parts.append(str(int(part)))
+    return ", ".join(parts)
+
+
+def pack_source(index: tuple, shape: tuple, masked: bool) -> str:
+    """A function gathering one send's indexed box into a flat wire
+    buffer — the contiguous-copy half of ``extract_payload`` with the
+    geometry baked in, writing straight into a caller-provided (pooled
+    or shared-memory) buffer instead of allocating."""
+    ix = index_text(index)
+    if masked:
+        return (
+            "def _pack(values, out, mask):\n"
+            f"    out[...] = values[{ix}][mask]\n"
+        )
+    return (
+        "def _pack(values, out, mask):\n"
+        f"    out.reshape({shape!r})[...] = values[{ix}]\n"
+    )
+
+
+def unpack_source(index: tuple, shape: tuple, masked: bool) -> str:
+    """The inverse: scatter a flat wire buffer into rank storage and
+    mark the region valid (``install_payload`` with baked geometry)."""
+    ix = index_text(index)
+    if masked:
+        return (
+            "def _unpack(values, valid, buf, mask):\n"
+            f"    values[{ix}][mask] = buf\n"
+            f"    valid[{ix}][mask] = True\n"
+        )
+    return (
+        "def _unpack(values, valid, buf, mask):\n"
+        f"    values[{ix}] = buf.reshape({shape!r})\n"
+        f"    valid[{ix}] = True\n"
+    )
+
+
+def compile_fn(source: str, tag: str, ns: dict):
+    """``compile()``/``exec()`` one emitted function and return it.
+
+    ``tag`` labels the pseudo-filename (tracebacks through generated
+    kernels stay attributable); the entry point is read off the
+    ``def`` line.
+    """
+    entry = source.split("(", 1)[0].split()[-1]
+    code = compile(source, f"<repro-kernel:{tag}>", "exec")
+    exec(code, ns)  # noqa: S102 - executing our own emitted source
+    return ns[entry]

@@ -93,6 +93,20 @@ def compile_headline(payload: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+def _grid_fields(params_seen: list[dict[str, Any]]) -> dict[str, Any]:
+    """``P``/``grid`` fields from per-program params, backfill-safe:
+    None when the payload predates grid stamping or mixes grids."""
+    grids = {
+        (p["pr"], p["pc"])
+        for p in params_seen
+        if isinstance(p, dict) and p.get("pr") and p.get("pc")
+    }
+    if len(grids) != 1:
+        return {"P": None, "grid": None}
+    pr, pc = grids.pop()
+    return {"P": pr * pc, "grid": [pr, pc]}
+
+
 def spmd_headline(payload: dict[str, Any]) -> dict[str, Any]:
     programs = payload.get("programs", {})
     speedups = [
@@ -104,6 +118,7 @@ def spmd_headline(payload: dict[str, Any]) -> dict[str, Any]:
         "strategy": payload.get("strategy"),
         "programs": len(programs),
         "ok": payload.get("ok"),
+        **_grid_fields([p.get("params") for p in programs.values()]),
         "vec_wall_s": round(
             sum(p["vectorized"]["wall_s"] for p in programs.values()), 4
         ),
@@ -120,6 +135,11 @@ def transport_headline(payload: dict[str, Any]) -> dict[str, Any]:
     return {
         "mode": payload.get("mode"),
         "ok": payload.get("ok"),
+        **_grid_fields([
+            prog.get("params", payload.get("params"))
+            for info in backends.values()
+            for prog in info.get("programs", {}).values()
+        ] or [payload.get("params")]),
         "backends": sorted(backends),
         "wall_s": {
             b: round(sum(
@@ -132,3 +152,40 @@ def transport_headline(payload: dict[str, Any]) -> dict[str, Any]:
             for b, c in cal.items() if isinstance(c, dict)
         },
     }
+
+
+def kernel_headline(payload: dict[str, Any]) -> list[dict[str, Any]]:
+    """One headline per swept grid — scaling curves across commits need
+    per-P points, so ``--kernels`` appends several records per run."""
+    headlines = []
+    for p, sweep in payload.get("sweeps", {}).items():
+        speedups = sorted(
+            cell["speedup"]
+            for ladder in ("weak", "strong")
+            for cell in sweep.get(ladder, {}).values()
+            if cell.get("speedup") is not None
+        )
+        kernel_execute_s = sum(
+            cell["kernel"]["execute_s"]
+            for ladder in ("weak", "strong")
+            for cell in sweep.get(ladder, {}).values()
+        )
+        weak_eps = sum(
+            cell["kernel"]["elements_per_s"] or 0
+            for cell in sweep.get("weak", {}).values()
+        )
+        reg = sweep.get("regression")
+        headlines.append({
+            "mode": payload.get("mode"),
+            "ok": payload.get("ok"),
+            "P": int(p),
+            "grid": sweep.get("grid"),
+            "kernel_tier": payload.get("kernel_tier"),
+            "kernel_execute_s": round(kernel_execute_s, 4),
+            "weak_elements_per_s": weak_eps,
+            "median_speedup": (
+                speedups[len(speedups) // 2] if speedups else None
+            ),
+            "regression_ratio": reg.get("ratio") if reg else None,
+        })
+    return headlines

@@ -84,6 +84,15 @@ class RuntimeStats:
     plan cache, and ``vectorized_firings``/``fallback_firings`` how many
     loop-nest executions ran as whole-block numpy operations versus the
     element-wise interpreter path.
+
+    The kernel counters instrument the fused-codegen layer
+    (:mod:`repro.runtime.kernels`): ``kernel_compiles``/
+    ``kernel_cache_hits`` the per-geometry KernelCache,
+    ``kernel_firings`` how many executions ran emitted straight-line
+    code, ``plan_translations`` how many CommPlan cache hits were served
+    by translating a canonical plan to a shifted offset, and
+    ``kernel_tier``/``kernel_fallback_reason`` which compute tier ran
+    and why a requested tier degraded (empty string: no degradation).
     """
 
     messages: int = 0
@@ -94,8 +103,14 @@ class RuntimeStats:
     elements_written: int = 0
     plan_compiles: int = 0
     plan_cache_hits: int = 0
+    plan_translations: int = 0
     vectorized_firings: int = 0
     fallback_firings: int = 0
+    kernel_firings: int = 0
+    kernel_compiles: int = 0
+    kernel_cache_hits: int = 0
+    kernel_tier: str = "off"
+    kernel_fallback_reason: str = ""
     plan_compile_s: float = 0.0
 
     @property
@@ -113,9 +128,15 @@ class RuntimeStats:
             "elements_written": self.elements_written,
             "plan_compiles": self.plan_compiles,
             "plan_cache_hits": self.plan_cache_hits,
+            "plan_translations": self.plan_translations,
             "plan_hit_rate": round(self.plan_hit_rate, 4),
             "vectorized_firings": self.vectorized_firings,
             "fallback_firings": self.fallback_firings,
+            "kernel_firings": self.kernel_firings,
+            "kernel_compiles": self.kernel_compiles,
+            "kernel_cache_hits": self.kernel_cache_hits,
+            "kernel_tier": self.kernel_tier,
+            "kernel_fallback_reason": self.kernel_fallback_reason,
             "plan_compile_s": round(self.plan_compile_s, 6),
         }
 

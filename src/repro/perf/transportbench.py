@@ -143,6 +143,7 @@ def bench_backend(
         ok = ok and identical
         report = simulate(result, MACHINES["SP2"])
         programs[name] = {
+            "params": sizes[name],
             "wall_s": round(wall, 4),
             "bitwise_identical_to_legacy": identical,
             "wire": wire,

@@ -517,6 +517,10 @@ class PlannedTransfer:
     data delivered by phases ``< k`` (the diagonal augmented exchanges
     forward corner data), so a message-passing backend must order
     phases with a barrier between them.
+
+    ``entry_idx`` records which of the operation's entries produced the
+    transfer, so a cached plan can be *translated* to a different
+    section offset entry by entry (:func:`translate_plan`).
     """
 
     array: str
@@ -527,6 +531,7 @@ class PlannedTransfer:
     mask: np.ndarray | None = None
     nbytes: int = 0
     phase: int = 0
+    entry_idx: int = 0
 
 
 @dataclass
@@ -580,7 +585,10 @@ class CommPlanner:
         transfers: list[PlannedTransfer] = []
         pairs: set[tuple[int, int]] = set()
         nbytes = 0
-        for entry, section in zip(op.entries, sections):
+        for entry_idx, (entry, section) in enumerate(
+            zip(op.entries, sections)
+        ):
+            before = len(transfers)
             if section is None or section.is_empty:
                 continue
             mapping = entry.pattern.mapping
@@ -607,6 +615,8 @@ class CommPlanner:
                 nbytes += self._plan_assemble(
                     entry, section, layout, own, transfers, pairs
                 )
+            for t in transfers[before:]:
+                t.entry_idx = entry_idx
         return CommPlan(transfers, frozenset(pairs), nbytes)
 
     def _plan_assemble(
@@ -732,3 +742,70 @@ class CommPlanner:
                 pairs.add((src_rank, dst_rank))
                 nbytes += int(take.sum()) * layout.elem_bytes
         return nbytes
+
+
+def translate_plan(
+    plan: CommPlan,
+    base_offsets: tuple,
+    offsets: tuple,
+) -> CommPlan:
+    """Shift a cached plan to a translated section tuple.
+
+    ``base_offsets``/``offsets`` hold, per entry, a tuple of 1-based
+    section origins for the dimensions the executor canonicalized (and
+    ``None`` for dimensions — or whole entries — it did not).  The
+    caller guarantees the two section tuples agree on everything except
+    those origins, and that canonicalized dimensions are *serial* (no
+    grid axis, full-extent ownership) and unshifted by the operation:
+    under those conditions partner ranks, transfer counts, per-element
+    eligibility masks, and wire accounting are translation-invariant, so
+    translating is just adding the per-dimension delta to every index
+    slice and region bound.  Masks and the pair/byte totals are shared
+    with the base plan (they are read-only at execution time).
+    """
+    deltas: list = []
+    changed = False
+    for base_entry, new_entry in zip(base_offsets, offsets):
+        if base_entry is None:
+            deltas.append(None)
+            continue
+        dd = tuple(
+            (n - b) if b is not None else 0
+            for b, n in zip(base_entry, new_entry)
+        )
+        deltas.append(dd)
+        if any(dd):
+            changed = True
+    if not changed:
+        return plan
+
+    transfers: list[PlannedTransfer] = []
+    for t in plan.transfers:
+        dd = deltas[t.entry_idx] if t.entry_idx < len(deltas) else None
+        if dd is None or not any(dd):
+            transfers.append(t)
+            continue
+        index = tuple(
+            part if dd[d] == 0 else
+            slice(part.start + dd[d], part.stop + dd[d], part.step)
+            for d, part in enumerate(t.index)
+        )
+        region = t.region
+        if region is not None:
+            region = RSD(tuple(
+                sec if dd[d] == 0 else
+                DimSection(sec.lo + dd[d], sec.hi + dd[d], sec.step)
+                for d, sec in enumerate(region.dims)
+            ))
+        transfers.append(PlannedTransfer(
+            array=t.array,
+            src=t.src,
+            dsts=t.dsts,
+            index=index,
+            region=region,
+            mask=t.mask,
+            nbytes=t.nbytes,
+            phase=t.phase,
+            entry_idx=t.entry_idx,
+        ))
+    return CommPlan(transfers, plan.wire_pairs, plan.wire_bytes)

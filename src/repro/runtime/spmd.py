@@ -65,6 +65,7 @@ from .plans import (
     ref_np_index,
     ref_region,
     store_order,
+    translate_plan,
 )
 
 #: Backwards-compatible alias — the executor's counters moved into the
@@ -83,6 +84,7 @@ class SPMDExecutor:
         transport: "str | None" = None,
         collectives: bool = True,
         watchdog_s: float = 30.0,
+        kernels: "str | None" = None,
     ) -> None:
         self.result = result
         self.info = result.info
@@ -160,6 +162,12 @@ class SPMDExecutor:
             self._coords_for, self._shift_partner, self._rank_of,
         )
         self._comm_plans: dict[tuple, CommPlan] = {}
+        #: canonical (rank-relative) plan cache: key -> (plan, offsets).
+        #: Sections differing only in serial-dimension origins share one
+        #: compiled plan, served by translation (satellite of the fused-
+        #: kernel work: gravity's per-iteration sections otherwise defeat
+        #: the exact-tuple cache).
+        self._canon_plans: dict[tuple, tuple[CommPlan, tuple]] = {}
         self.nest_plans: dict[int, NestPlan] = {}
         self.fallback_reasons: dict[int, str] = {}
         self._fallback_assign_sids: set[int] = set()
@@ -177,6 +185,17 @@ class SPMDExecutor:
                 self.nest_plans[sid] = plan
             self._fallback_assign_sids = set(self.fallback_reasons)
             self.stats.plan_compile_s += time.perf_counter() - t0
+
+        # Fused kernel codegen (the third lowering level).  Explicit
+        # argument wins; otherwise the compile-side option decides.
+        tier_request = kernels if kernels is not None else getattr(
+            result.ctx.options, "kernels", "auto"
+        )
+        self.kernels = None
+        if tier_request != "off" and vectorize:
+            from .kernels import KernelEngine
+
+            self.kernels = KernelEngine(self, tier_request)
 
     @staticmethod
     def _nest_has_interior_comm(plan: NestPlan, anchors: set) -> bool:
@@ -230,14 +249,73 @@ class SPMDExecutor:
             key = (self.grid.shape, id(op), sections)
             plan = self._comm_plans.get(key)
             if plan is None:
+                ckey, offsets = self._canonical_key(op, sections)
+                base = (
+                    self._canon_plans.get(ckey) if ckey is not None else None
+                )
                 t0 = time.perf_counter()
-                plan = self.planner.compile_op(op, sections)
+                if base is not None:
+                    plan = translate_plan(base[0], base[1], offsets)
+                    self.stats.plan_cache_hits += 1
+                    self.stats.plan_translations += 1
+                else:
+                    plan = self.planner.compile_op(op, sections)
+                    self.stats.plan_compiles += 1
+                    if ckey is not None:
+                        self._canon_plans[ckey] = (plan, offsets)
                 self.stats.plan_compile_s += time.perf_counter() - t0
                 self._comm_plans[key] = plan
-                self.stats.plan_compiles += 1
             else:
                 self.stats.plan_cache_hits += 1
             self._execute_plan(plan, op.kind)
+
+    def _canonical_key(self, op, sections):
+        """Rank-relative form of a section tuple, plus the origins that
+        were normalized away.
+
+        A dimension is canonicalized when translating a plan along it is
+        provably exact: the dimension is *serial* (no grid axis — every
+        rank owns its full extent, so partner sets and overlap counts
+        cannot depend on the origin), the operation does not shift
+        elements along it, and the section lies in bounds (no boundary
+        clipping).  Such a dimension's section is replaced by its
+        ``(count, step)`` run; the 1-based origin goes into the offsets
+        tuple for :func:`translate_plan`.  Returns ``(None, None)`` when
+        nothing was canonicalized (the exact cache already suffices).
+        """
+        canon = []
+        offsets = []
+        any_rel = False
+        for entry, section in zip(op.entries, sections):
+            if section is None or isinstance(
+                entry.pattern.mapping, ReductionMapping
+            ):
+                canon.append(None)
+                offsets.append(None)
+                continue
+            layout = self.info.layout(entry.array)
+            elem_shifts = dict(entry.pattern.elem_shifts)
+            dims_key = []
+            origins = []
+            for d, sec in enumerate(section.dims):
+                if (
+                    layout.dims[d].grid_axis is None
+                    and elem_shifts.get(d, 0) == 0
+                    and not sec.is_empty
+                    and sec.lo >= 1
+                    and sec.hi <= layout.dims[d].extent
+                ):
+                    dims_key.append(("rel", sec.count(), sec.step))
+                    origins.append(sec.lo)
+                    any_rel = True
+                else:
+                    dims_key.append(sec)
+                    origins.append(None)
+            canon.append(tuple(dims_key))
+            offsets.append(tuple(origins))
+        if not any_rel:
+            return None, None
+        return (self.grid.shape, id(op), tuple(canon)), tuple(offsets)
 
     def _execute_plan(self, plan: CommPlan, kind: str = "general") -> None:
         """Run one lowered communication operation: flat slice copies
@@ -247,6 +325,9 @@ class SPMDExecutor:
         deliveries between the same (src, dst) once per operation."""
         if self.transport is not None:
             self._execute_plan_transport(plan, kind)
+            return
+        if self.kernels is not None:
+            self.kernels.execute_plan_copy(plan)
             return
         for t in plan.transfers:
             store = self.storage[t.src][t.array]
@@ -450,7 +531,17 @@ class SPMDExecutor:
             elif isinstance(stmt, ast.Do):
                 self._fire(("loop_pre", stmt.sid))
                 plan = self.nest_plans.get(stmt.sid)
-                if plan is None or not self._try_exec_nest(plan):
+                done = False
+                if plan is not None:
+                    done = None
+                    if self.kernels is not None:
+                        # True: fused kernel ran.  False: dynamic
+                        # fallback (element-wise).  None: kernel-
+                        # ineligible — interpreted block path below.
+                        done = self.kernels.try_exec_nest(plan)
+                    if done is None:
+                        done = self._try_exec_nest(plan)
+                if not done:
                     lo = self.shadow.eval_index(stmt.lo)
                     hi = self.shadow.eval_index(stmt.hi)
                     step = self.shadow.eval_index(stmt.step)
@@ -774,16 +865,19 @@ def execute_spmd(
     transport: "str | None" = None,
     collectives: bool = True,
     watchdog_s: float = 30.0,
+    kernels: "str | None" = None,
 ) -> tuple[dict[str, np.ndarray], RuntimeStats]:
     """Run a compiled program on simulated ranks; returns the assembled
     final state and movement statistics.  Raises on any missing-data or
     staleness violation.  ``vectorize=False`` forces the element-wise
     reference path for every statement; ``transport`` selects a real
     message-passing backend (``inline``/``threaded``/``multiprocess``)
-    instead of the default direct-copy data path."""
+    instead of the default direct-copy data path; ``kernels`` picks the
+    fused-codegen tier (``"auto"``/``"python"``/``"numba"``/``"off"``,
+    default from ``CompilerOptions.kernels``)."""
     executor = SPMDExecutor(
         result, seed, vectorize=vectorize, transport=transport,
-        collectives=collectives, watchdog_s=watchdog_s,
+        collectives=collectives, watchdog_s=watchdog_s, kernels=kernels,
     )
     try:
         stats = executor.run()

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
+from ..codegen.kernels import compile_fn, pack_source, unpack_source
 from ..errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -80,6 +81,8 @@ class RankOpStats:
     sends: int = 0
     bytes_sent: int = 0
     local_copies: int = 0
+    pool_hits: int = 0
+    pool_misses: int = 0
     send_s: float = 0.0
     recv_s: float = 0.0
     wait_s: float = 0.0
@@ -119,6 +122,8 @@ class WireStats:
     bytes_sent: int = 0
     local_copies: int = 0
     barrier_stalls: int = 0
+    pool_hits: int = 0
+    pool_misses: int = 0
     pair_msgs: dict = field(default_factory=dict)
     pair_bytes: dict = field(default_factory=dict)
     send_s: dict = field(default_factory=dict)     # rank -> seconds
@@ -132,6 +137,8 @@ class WireStats:
         self.bytes_sent += rs.bytes_sent
         self.local_copies += rs.local_copies
         self.barrier_stalls += rs.barrier_stalls
+        self.pool_hits += rs.pool_hits
+        self.pool_misses += rs.pool_misses
         for pair, n in rs.pair_msgs.items():
             self.pair_msgs[pair] = self.pair_msgs.get(pair, 0) + n
         for pair, n in rs.pair_bytes.items():
@@ -154,6 +161,8 @@ class WireStats:
             "bytes_sent": self.bytes_sent,
             "local_copies": self.local_copies,
             "barrier_stalls": self.barrier_stalls,
+            "pool_hits": self.pool_hits,
+            "pool_misses": self.pool_misses,
             "algorithms": dict(sorted(self.algorithms.items())),
             "pair_msgs": {
                 f"{s}->{d}": n for (s, d), n in sorted(self.pair_msgs.items())
@@ -199,6 +208,117 @@ def install_payload(values: np.ndarray, valid: np.ndarray, send,
         vregion = valid[send.index]
         vregion[send.mask] = True
         valid[send.index] = vregion
+
+
+class BufferPool:
+    """Size-bucketed free lists of wire buffers.
+
+    The threaded backend keeps one pool per (src, dst) pair so send
+    staging stops allocating after the first round: the sender rents a
+    power-of-two-sized float64 buffer, the receiver returns it after
+    install.  ``list.append``/``list.pop`` are atomic under the GIL and
+    each pair pool has exactly one renter (the sending rank's thread)
+    and one giver (the receiving rank's), so the data path stays
+    lock-free like the SPSC channels it feeds.
+
+    ``hits``/``misses`` count rents served from the free list versus
+    fresh allocations; backends mirror them into
+    :class:`RankOpStats` so they surface in :class:`WireStats`.
+    """
+
+    __slots__ = ("_buckets", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, list[np.ndarray]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _bucket(count: int) -> int:
+        return 1 << max(count - 1, 0).bit_length()
+
+    def rent(self, count: int, rs: RankOpStats | None = None) -> np.ndarray:
+        """A float64 buffer of at least ``count`` elements (callers use
+        ``buf[:count]``); reused if the bucket has a free one."""
+        size = self._bucket(count)
+        free = self._buckets.get(size)
+        if free:
+            try:
+                buf = free.pop()
+            except IndexError:
+                buf = None
+            if buf is not None:
+                self.hits += 1
+                if rs is not None:
+                    rs.pool_hits += 1
+                return buf
+        self.misses += 1
+        if rs is not None:
+            rs.pool_misses += 1
+        return np.empty(size, dtype=np.float64)
+
+    def give(self, buf: np.ndarray) -> None:
+        """Return a rented buffer to its bucket."""
+        self._buckets.setdefault(buf.shape[0], []).append(buf)
+
+
+# Compiled pack/unpack functions, keyed by the send's normalized index
+# geometry (slices are unhashable, so each is flattened to a
+# ('s', start, stop, step) tuple) plus whether a mask compacts the box.
+# The population is bounded by the distinct transfer geometries of the
+# programs run in this process — the same reuse argument as the
+# executor's CommPlan cache.
+_PACK_FNS: dict = {}
+_UNPACK_FNS: dict = {}
+
+
+def _send_key(send) -> tuple:
+    """(cache key, unmasked box shape) for one send's geometry, or
+    (None, None) when the index is not fully concrete."""
+    parts = []
+    shape = []
+    for p in send.index:
+        if isinstance(p, slice):
+            if p.start is None or p.stop is None:
+                return None, None
+            step = 1 if p.step is None else p.step
+            parts.append(("s", p.start, p.stop, step))
+            shape.append(len(range(p.start, p.stop, step)))
+        else:
+            parts.append(("i", int(p)))
+    return (tuple(parts), send.mask is not None), tuple(shape)
+
+
+def pack_payload(values: np.ndarray, send, out: np.ndarray) -> None:
+    """Gather one send's wire payload straight into ``out`` (a pooled
+    or shared-memory buffer of exactly the payload's element count)
+    through a compiled per-geometry kernel — :func:`extract_payload`
+    without the intermediate allocation."""
+    key, shape = _send_key(send)
+    if key is None:  # pragma: no cover - planner always emits concrete slices
+        out[...] = extract_payload(values, send).ravel()
+        return
+    fn = _PACK_FNS.get(key)
+    if fn is None:
+        source = pack_source(send.index, shape, send.mask is not None)
+        fn = _PACK_FNS[key] = compile_fn(source, "pack", {"_np": np})
+    fn(values, out, send.mask)
+
+
+def unpack_payload(values: np.ndarray, valid: np.ndarray, send,
+                   buf: np.ndarray) -> None:
+    """Scatter a received wire buffer into rank storage and mark the
+    region valid — :func:`install_payload` through a compiled
+    per-geometry kernel (no region copy round-trip)."""
+    key, shape = _send_key(send)
+    if key is None:  # pragma: no cover - planner always emits concrete slices
+        install_payload(values, valid, send, buf)
+        return
+    fn = _UNPACK_FNS.get(key)
+    if fn is None:
+        source = unpack_source(send.index, shape, send.mask is not None)
+        fn = _UNPACK_FNS[key] = compile_fn(source, "unpack", {"_np": np})
+    fn(values, valid, buf, send.mask)
 
 
 class Transport:

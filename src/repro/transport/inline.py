@@ -16,12 +16,13 @@ import time
 import numpy as np
 
 from .base import (
+    BufferPool,
     OpReceipt,
     RankOpStats,
     Transport,
     combine_pieces,
-    extract_payload,
-    install_payload,
+    pack_payload,
+    unpack_payload,
 )
 from .lowering import SCALAR_BYTES, LoweredComm, lower_reduction
 
@@ -30,6 +31,15 @@ class InlineTransport(Transport):
     """Sequential in-process execution of lowered schedules."""
 
     name = "inline"
+
+    def __init__(self, nranks: int, watchdog_s: float = 30.0) -> None:
+        super().__init__(nranks, watchdog_s)
+        self.stats.backend = self.name
+        # Single staging pool: the snapshot-then-install round structure
+        # holds at most one round's payloads at a time, so the pool
+        # reaches the widest round's buffer count and then stops
+        # allocating for the rest of the run.
+        self._pool = BufferPool()
 
     def execute(self, lowered: LoweredComm) -> OpReceipt:
         self._check_alive()
@@ -40,12 +50,16 @@ class InlineTransport(Transport):
             for s in rnd:
                 t0 = time.perf_counter()
                 store = self.storage[s.src][s.array]
-                staged.append((s, extract_payload(store.values, s)))
+                count = s.nbytes // SCALAR_BYTES
+                buf = self._pool.rent(count, per_rank[s.src])
+                pack_payload(store.values, s, buf[:count])
+                staged.append((s, buf, count))
                 per_rank[s.src].send_s += time.perf_counter() - t0
-            for s, payload in staged:
+            for s, buf, count in staged:
                 t0 = time.perf_counter()
                 store = self.storage[s.dst][s.array]
-                install_payload(store.values, store.valid, s, payload)
+                unpack_payload(store.values, store.valid, s, buf[:count])
+                self._pool.give(buf)
                 rs = per_rank[s.dst]
                 rs.recv_s += time.perf_counter() - t0
                 if s.is_local:

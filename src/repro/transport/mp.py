@@ -42,6 +42,8 @@ from .base import (
     combine_pieces,
     extract_payload,
     install_payload,
+    pack_payload,
+    unpack_payload,
 )
 from .lowering import SCALAR_BYTES, LoweredComm, lower_reduction
 
@@ -184,13 +186,16 @@ def _run_op(ctx: _WorkerState, script, data_name, offsets) -> RankOpStats:
         for s in rnd["send"]:
             t0 = time.perf_counter()
             values, _valid = ctx.views[(rank, s.array)]
-            payload = extract_payload(values, s)
-            off = offsets[s.seq]
+            count = s.nbytes // SCALAR_BYTES
+            # Pack straight into the shared-memory arena: the arena view
+            # IS the wire buffer, so no pool is needed here (the
+            # threaded backend's pool counters have no multiprocess
+            # counterpart — they stay 0 by design).
             dst_view = np.ndarray(
-                (payload.size,), dtype=np.float64, buffer=data.buf,
-                offset=off,
+                (count,), dtype=np.float64, buffer=data.buf,
+                offset=offsets[s.seq],
             )
-            dst_view[:] = payload.ravel()
+            pack_payload(values, s, dst_view)
             ctx.chans[(rank, s.dst)].put(s.seq)
             rs.send_s += time.perf_counter() - t0
             _wire(rs, rank, s.dst, s.nbytes)
@@ -216,7 +221,7 @@ def _run_op(ctx: _WorkerState, script, data_name, offsets) -> RankOpStats:
                 offset=offsets[s.seq],
             )
             values, valid = ctx.views[(rank, s.array)]
-            install_payload(values, valid, s, payload)
+            unpack_payload(values, valid, s, payload)
             rs.recv_s += time.perf_counter() - t0
         ctx.set_state(_BARRIER, rnd_no)
         t0 = time.perf_counter()

@@ -5,8 +5,11 @@ concurrently — ranks post their sends to lock-free per-pair SPSC
 channels (a ``collections.deque`` per (src, dst) pair; append/popleft
 are atomic under the GIL, so no locks on the data path), then block
 receiving what their round script expects, then meet at a real
-``threading.Barrier``.  Payloads are numpy copies handed through the
-channel, counted at their wire size.
+``threading.Barrier``.  Payloads travel in pooled buffers: the sender
+rents one from the pair's :class:`~repro.transport.base.BufferPool`,
+packs the wire bytes into it through a compiled per-geometry kernel,
+and the receiver returns it after install — steady-state rounds
+allocate nothing.  Every message is counted at its wire size.
 
 A watchdog bounds every blocking wait: if any rank is still stuck when
 it expires, the main thread aborts the fleet, captures each stuck
@@ -28,14 +31,15 @@ from collections import deque
 import numpy as np
 
 from .base import (
+    BufferPool,
     DeadlockError,
     OpReceipt,
     RankOpStats,
     Transport,
     TransportError,
     combine_pieces,
-    extract_payload,
-    install_payload,
+    pack_payload,
+    unpack_payload,
 )
 from .lowering import SCALAR_BYTES, LoweredComm, lower_reduction
 
@@ -87,6 +91,11 @@ class ThreadedTransport(Transport):
             (s, d): SPSCChannel()
             for s in range(nranks) for d in range(nranks) if s != d
         }
+        # One send-buffer pool per channel (rented by the sender,
+        # returned by the receiver after install) plus one per rank for
+        # staging local copies; reused across rounds and operations.
+        self._pools = {pair: BufferPool() for pair in self._chan}
+        self._local_pools = [BufferPool() for _ in range(nranks)]
         self._cmd = [queue.SimpleQueue() for _ in range(nranks)]
         self._results: queue.SimpleQueue = queue.SimpleQueue()
         self._abort = threading.Event()
@@ -294,8 +303,10 @@ class ThreadedTransport(Transport):
             for s in rnd["send"]:
                 t0 = time.perf_counter()
                 store = self.storage[rank][s.array]
-                payload = extract_payload(store.values, s)
-                self._chan[(rank, s.dst)].put((s.seq, payload))
+                count = s.nbytes // SCALAR_BYTES
+                buf = self._pools[(rank, s.dst)].rent(count, rs)
+                pack_payload(store.values, s, buf[:count])
+                self._chan[(rank, s.dst)].put((s.seq, buf, count))
                 rs.send_s += time.perf_counter() - t0
                 rs.sends += 1
                 rs.bytes_sent += s.nbytes
@@ -304,17 +315,19 @@ class ThreadedTransport(Transport):
                 rs.pair_bytes[pair] = rs.pair_bytes.get(pair, 0) + s.nbytes
             for s in rnd["local"]:
                 store = self.storage[rank][s.array]
-                install_payload(
-                    store.values, store.valid, s,
-                    extract_payload(store.values, s),
-                )
+                count = s.nbytes // SCALAR_BYTES
+                pool = self._local_pools[rank]
+                buf = pool.rent(count, rs)
+                pack_payload(store.values, s, buf[:count])
+                unpack_payload(store.values, store.valid, s, buf[:count])
+                pool.give(buf)
                 rs.local_copies += 1
             for s in rnd["recv"]:
                 self._pending[rank] = (
                     f"recv {s.array} seq {s.seq} from rank {s.src}"
                 )
                 t0 = time.perf_counter()
-                seq, payload = self._chan[(s.src, rank)].get(
+                seq, buf, count = self._chan[(s.src, rank)].get(
                     deadline, self._abort, lambda: None
                 )
                 rs.wait_s += time.perf_counter() - t0
@@ -326,7 +339,8 @@ class ThreadedTransport(Transport):
                     )
                 t0 = time.perf_counter()
                 store = self.storage[rank][s.array]
-                install_payload(store.values, store.valid, s, payload)
+                unpack_payload(store.values, store.valid, s, buf[:count])
+                self._pools[(s.src, rank)].give(buf)
                 rs.recv_s += time.perf_counter() - t0
             self._barrier_wait(rank, rs)
         return rs

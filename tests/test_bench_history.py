@@ -11,6 +11,7 @@ from repro.perf.history import (
     HISTORY_FILE,
     append_history,
     compile_headline,
+    kernel_headline,
     spmd_headline,
     transport_headline,
 )
@@ -66,18 +67,23 @@ class TestHistory:
         spmd_payload = {
             "mode": "quick", "strategy": "comb", "ok": True,
             "programs": {
-                "a": {"vectorized": {"wall_s": 0.1}, "speedup": 3.0},
-                "b": {"vectorized": {"wall_s": 0.2}, "speedup": 5.0},
+                "a": {"vectorized": {"wall_s": 0.1}, "speedup": 3.0,
+                      "params": {"n": 8, "pr": 2, "pc": 2}},
+                "b": {"vectorized": {"wall_s": 0.2}, "speedup": 5.0,
+                      "params": {"n": 8, "pr": 2, "pc": 2}},
             },
         }
         h = spmd_headline(spmd_payload)
         assert h["vec_wall_s"] == pytest.approx(0.3)
         assert h["median_speedup"] == 5.0
+        assert h["P"] == 4 and h["grid"] == [2, 2]
 
         transport_payload = {
             "mode": "quick", "ok": True,
             "backends": {
-                "inline": {"programs": {"a": {"wall_s": 0.1}}},
+                "inline": {"programs": {"a": {
+                    "wall_s": 0.1, "params": {"pr": 2, "pc": 2},
+                }}},
             },
             "calibration": {
                 "inline": {"bandwidth_bps": 1e9, "startup_s": 1e-6},
@@ -87,6 +93,47 @@ class TestHistory:
         assert h["backends"] == ["inline"]
         assert h["wall_s"]["inline"] == pytest.approx(0.1)
         assert h["calibrated_bandwidth_bps"]["inline"] == 1e9
+        assert h["P"] == 4 and h["grid"] == [2, 2]
+
+    def test_headlines_are_backfill_safe(self):
+        # Payloads written before grid stamping carry no params: the
+        # new P/grid fields must come out None, never raise.
+        h = spmd_headline({
+            "mode": "quick", "ok": True,
+            "programs": {"a": {"vectorized": {"wall_s": 0.1},
+                               "speedup": 2.0}},
+        })
+        assert h["P"] is None and h["grid"] is None
+        h = transport_headline({
+            "mode": "quick", "ok": True,
+            "backends": {"inline": {"programs": {"a": {"wall_s": 0.1}}}},
+            "calibration": {},
+        })
+        assert h["P"] is None and h["grid"] is None
+
+    def test_kernel_headline_one_record_per_grid(self):
+        cell = {
+            "kernel": {"execute_s": 0.2, "elements_per_s": 1000},
+            "speedup": 2.5,
+        }
+        payload = {
+            "mode": "quick", "ok": True, "kernel_tier": "python",
+            "sweeps": {
+                "4": {"grid": [2, 2], "weak": {"a": cell},
+                      "strong": {"a": cell},
+                      "regression": {"ratio": 0.4, "ok": True}},
+                "16": {"grid": [4, 4], "weak": {"a": cell},
+                       "strong": {"a": cell}, "regression": None},
+            },
+        }
+        records = kernel_headline(payload)
+        assert [r["P"] for r in records] == [4, 16]
+        assert records[0]["grid"] == [2, 2]
+        assert records[0]["median_speedup"] == 2.5
+        assert records[0]["regression_ratio"] == 0.4
+        assert records[0]["kernel_execute_s"] == pytest.approx(0.4)
+        assert records[0]["weak_elements_per_s"] == 1000
+        assert records[1]["regression_ratio"] is None
 
 
 class TestCalibration:

@@ -301,7 +301,79 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 1 if s.errors else 0
 
 
+def cmd_run(args: argparse.Namespace) -> int:
+    """Compile one program and execute it on simulated ranks through a
+    message-passing backend, optionally under chaos fault injection."""
+    source = _read_source(args.file)
+    params = _parse_params(args.param)
+    strategy = Strategy.parse(args.strategy)
+    diagnostics: list[Diagnostic] = []
+    try:
+        result = compile_program(source, params or None, strategy)
+    except ReproError as exc:
+        _emit_diagnostics(
+            [exc.diagnostic()], args.file, args.diagnostics_json
+        )
+        return 1
+    diagnostics.extend(d.diagnostic() for d in result.degradations)
+
+    from .runtime.spmd import execute_spmd
+
+    try:
+        arrays, stats = execute_spmd(
+            result,
+            seed=args.seed,
+            transport=args.transport,
+            watchdog_s=args.watchdog,
+            chaos=args.chaos_spec,
+            max_rank_restarts=args.max_rank_restarts,
+            integrity=False if args.no_integrity else None,
+        )
+    except ValueError as exc:  # bad --chaos-spec
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for event in stats.degradations:
+        diagnostics.append(Diagnostic(
+            code=event["code"],
+            severity="warning",
+            message=(
+                f"{event['backend']} transport degraded "
+                f"({event['reason']}): {event['detail']}; fallback: "
+                f"{event['fallback']}"
+            ),
+            phase="runtime",
+        ))
+    if args.diagnostics_json:
+        _emit_diagnostics(diagnostics, args.file, as_json=True)
+        return 0
+    for d in diagnostics:
+        print(d.format(args.file), file=sys.stderr)
+    print(f"== executed on {args.transport} "
+          f"({len(arrays)} arrays/scalars assembled)")
+    report = stats.as_dict()
+    for key in (
+        "messages", "bytes_moved", "reductions", "faults_injected",
+        "faults_detected", "retransmits", "rank_restarts",
+    ):
+        print(f"   {key:16s} {report[key]}")
+    if stats.degradations:
+        print(f"   degradations     {len(stats.degradations)} "
+              f"(codes {sorted({d['code'] for d in stats.degradations})})")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
+    if getattr(args, "chaos", False):
+        from .perf.chaosbench import format_chaos_bench, write_chaos_bench
+
+        output = args.output
+        if output == "BENCH_compile.json":  # default belongs to compile mode
+            output = "BENCH_chaos.json"
+        payload = write_chaos_bench(path=output, quick=args.quick)
+        print(format_chaos_bench(payload))
+        print(f"\nwrote {output}")
+        return 0 if payload["ok"] else 1
+
     if args.kernels:
         from .perf.kernelbench import format_kernel_bench, write_kernel_bench
 
@@ -487,10 +559,49 @@ def build_parser() -> argparse.ArgumentParser:
                    help="kernel scaling benchmark instead: sweep the fused "
                         "per-rank kernel tier vs the vectorized baseline "
                         "over P in {4,16,64,256}; writes BENCH_kernels.json")
+    p.add_argument("--chaos", action="store_true",
+                   help="chaos benchmark instead: run every program on the "
+                        "concurrent backends under a seeded fault matrix, "
+                        "report survival rate, recovery latency, and "
+                        "clean-run integrity overhead; writes "
+                        "BENCH_chaos.json")
     p.add_argument("--quick", action="store_true",
-                   help="with --spmd/--transport/--kernels: small problem "
-                        "sizes for CI smoke runs")
+                   help="with --spmd/--transport/--kernels/--chaos: small "
+                        "problem sizes for CI smoke runs")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "run", help="compile and execute on simulated ranks through a "
+                    "message-passing backend, optionally under chaos "
+                    "fault injection"
+    )
+    p.add_argument("file")
+    p.add_argument("--strategy", default="comb",
+                   help="placement strategy (default comb)")
+    p.add_argument("--param", action="append", default=[], metavar="NAME=INT")
+    p.add_argument("--transport", default="threaded",
+                   choices=("inline", "threaded", "multiprocess"),
+                   help="message-passing backend (default threaded)")
+    p.add_argument("--chaos-spec", default=None, metavar="SPEC",
+                   help="arm deterministic fault injection: comma-separated "
+                        "KEY=VALUE pairs, e.g. "
+                        "'seed=7,drop=0.05,corrupt=0.02,crash=1.0,"
+                        "crash_budget=1'")
+    p.add_argument("--max-rank-restarts", type=int, default=None,
+                   metavar="N",
+                   help="rank restarts before degrading to the inline "
+                        "backend (default 2)")
+    p.add_argument("--no-integrity", action="store_true",
+                   help="disable wire checksums on clean runs (chaos "
+                        "forces them back on)")
+    p.add_argument("--watchdog", type=float, default=30.0, metavar="SECONDS",
+                   help="deadlock watchdog timeout (default 30)")
+    p.add_argument("--seed", type=int, default=12345,
+                   help="initial-data seed (default 12345)")
+    p.add_argument("--diagnostics-json", action="store_true",
+                   help="emit compile and runtime diagnostics (including "
+                        "W07xx degradation events) as JSON on stdout")
+    p.set_defaults(func=cmd_run)
     return parser
 
 

@@ -219,6 +219,13 @@ class InternalCompilerError(ReproError):
 #: ``DegradationEvent`` records in ``CompilationResult.degradations``).
 DEGRADED_CODE = "W0601"
 
+#: Runtime fault-tolerance warning codes (the transport layer's
+#: ``RuntimeDegradationEvent`` records, surfaced like W0601 through
+#: ``--diagnostics-json``; see ``docs/ROBUSTNESS.md``).
+RANK_RESTART_CODE = "W0701"       # rank crash recovered by restart + replay
+DEADLOCK_DEGRADED_CODE = "W0702"  # deadlock under chaos → inline re-execution
+RESTARTS_EXHAUSTED_CODE = "W0703"  # restart budget spent → inline re-execution
+
 #: Stable code → exception class table (the CLI and docs consume this).
 ERROR_CODES: dict[str, type[ReproError]] = {
     cls.code: cls

@@ -154,6 +154,26 @@ def transport_headline(payload: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+def chaos_headline(payload: dict[str, Any]) -> dict[str, Any]:
+    """Backfill-safe: every field degrades to None/{} when a payload
+    predates a counter, so mixed-age history files still parse."""
+    recovery = payload.get("recovery") or {}
+    overhead = payload.get("integrity_overhead") or {}
+    return {
+        "mode": payload.get("mode"),
+        "ok": payload.get("ok"),
+        "backends": payload.get("backends"),
+        "runs": payload.get("runs"),
+        "survival_rate": payload.get("survival_rate"),
+        "rank_restarts": recovery.get("rank_restarts"),
+        "mean_recovery_s": recovery.get("mean_recovery_s"),
+        "integrity_overhead_pct": {
+            b: o.get("overhead_pct")
+            for b, o in overhead.items() if isinstance(o, dict)
+        },
+    }
+
+
 def kernel_headline(payload: dict[str, Any]) -> list[dict[str, Any]]:
     """One headline per swept grid — scaling curves across commits need
     per-P points, so ``--kernels`` appends several records per run."""

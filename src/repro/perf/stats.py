@@ -112,11 +112,33 @@ class RuntimeStats:
     kernel_tier: str = "off"
     kernel_fallback_reason: str = ""
     plan_compile_s: float = 0.0
+    # Fault-tolerance counters, synced from the transport's WireStats
+    # after each run (all zero without chaos / a transport backend).
+    faults_injected: int = 0
+    faults_detected: int = 0
+    retransmits: int = 0
+    rank_restarts: int = 0
+    recovery_s: float = 0.0
+    #: Runtime degradation records (see :class:`repro.transport.chaos.
+    #: RuntimeDegradationEvent.to_dict`), in occurrence order.
+    degradations: list = field(default_factory=list)
 
     @property
     def plan_hit_rate(self) -> float:
         n = self.plan_compiles + self.plan_cache_hits
         return self.plan_cache_hits / n if n else 0.0
+
+    def sync_faults(self, wire) -> None:
+        """Absorb the fault-tolerance counters of a transport's
+        :class:`~repro.transport.base.WireStats` (additive, so the
+        counters survive a degraded re-execution on a fresh backend)."""
+        if wire is None:
+            return
+        self.faults_injected += wire.faults_injected
+        self.faults_detected += wire.faults_detected
+        self.retransmits += wire.retransmits
+        self.rank_restarts += wire.restarts
+        self.recovery_s += wire.recovery_s
 
     def as_dict(self) -> dict[str, float | int]:
         return {
@@ -138,6 +160,12 @@ class RuntimeStats:
             "kernel_tier": self.kernel_tier,
             "kernel_fallback_reason": self.kernel_fallback_reason,
             "plan_compile_s": round(self.plan_compile_s, 6),
+            "faults_injected": self.faults_injected,
+            "faults_detected": self.faults_detected,
+            "retransmits": self.retransmits,
+            "rank_restarts": self.rank_restarts,
+            "recovery_s": round(self.recovery_s, 6),
+            "degradations": list(self.degradations),
         }
 
 

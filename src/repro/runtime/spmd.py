@@ -48,7 +48,13 @@ from ..errors import SimulationError
 from ..frontend import ast_nodes as ast
 from ..perf.stats import RuntimeStats
 from ..sections.rsd import RSD, DimSection
-from ..transport import TransportError, make_transport
+from ..transport import (
+    DeadlockError,
+    RankCrashError,
+    RuntimeDegradationEvent,
+    TransportError,
+    make_transport,
+)
 from ..transport.lowering import LoweredComm, lower_comm
 from .darray import GridRank, Ownership, RankStorage, grid_ranks
 from .interp import Interpreter, initial_arrays
@@ -85,6 +91,9 @@ class SPMDExecutor:
         collectives: bool = True,
         watchdog_s: float = 30.0,
         kernels: "str | None" = None,
+        chaos=None,
+        max_rank_restarts: "int | None" = None,
+        integrity: "bool | None" = None,
     ) -> None:
         self.result = result
         self.info = result.info
@@ -105,9 +114,12 @@ class SPMDExecutor:
         self.ranks: list[GridRank] = grid_ranks(self.grid.shape)
 
         # Optional message-passing backend.  None keeps the legacy
-        # direct-copy data path byte for byte.
+        # direct-copy data path byte for byte.  ``chaos`` (a FaultPlan
+        # or --chaos-spec string) arms deterministic fault injection.
         self.transport = make_transport(
-            transport, len(self.ranks), watchdog_s=watchdog_s
+            transport, len(self.ranks), watchdog_s=watchdog_s,
+            chaos=chaos, max_rank_restarts=max_rank_restarts,
+            integrity=integrity,
         )
         self.wire = self.transport.stats if self.transport else None
         self._lowered: dict[int, LoweredComm] = {}
@@ -519,6 +531,20 @@ class SPMDExecutor:
         self._fire(("start",))
         self._exec_body(self.info.program.body)
         self._fire(("end",))
+        self.stats.sync_faults(self.wire)
+        if self.wire is not None and self.wire.restarts > 0:
+            # The run completed on the requested backend, but only by
+            # restarting crashed ranks — record that as a (recovered)
+            # degradation so --diagnostics-json consumers see it.
+            self.stats.degradations.append(RuntimeDegradationEvent(
+                reason="rank_restart",
+                backend=self.transport.name,
+                detail=(
+                    f"{self.wire.restarts} rank restart(s), "
+                    f"{self.wire.recovery_s:.3f}s recovering"
+                ),
+                fallback="none (recovered in place)",
+            ).to_dict())
         return self.stats
 
     def _exec_body(self, body: list[ast.Stmt]) -> None:
@@ -866,6 +892,9 @@ def execute_spmd(
     collectives: bool = True,
     watchdog_s: float = 30.0,
     kernels: "str | None" = None,
+    chaos=None,
+    max_rank_restarts: "int | None" = None,
+    integrity: "bool | None" = None,
 ) -> tuple[dict[str, np.ndarray], RuntimeStats]:
     """Run a compiled program on simulated ranks; returns the assembled
     final state and movement statistics.  Raises on any missing-data or
@@ -874,14 +903,64 @@ def execute_spmd(
     message-passing backend (``inline``/``threaded``/``multiprocess``)
     instead of the default direct-copy data path; ``kernels`` picks the
     fused-codegen tier (``"auto"``/``"python"``/``"numba"``/``"off"``,
-    default from ``CompilerOptions.kernels``)."""
+    default from ``CompilerOptions.kernels``).
+
+    ``chaos`` arms deterministic fault injection (a
+    :class:`~repro.transport.integrity.FaultPlan` or ``--chaos-spec``
+    string).  Under chaos the run is self-healing: crashed ranks are
+    restarted in place (up to ``max_rank_restarts``), and when recovery
+    is impossible — restart budget exhausted, or a watchdog deadlock
+    with faults armed — the program is re-executed on the deterministic
+    ``inline`` backend and the degradation recorded in
+    ``stats.degradations`` (W07xx).  A clean run (``chaos=None``) never
+    degrades: transport errors propagate as before."""
     executor = SPMDExecutor(
         result, seed, vectorize=vectorize, transport=transport,
         collectives=collectives, watchdog_s=watchdog_s, kernels=kernels,
+        chaos=chaos, max_rank_restarts=max_rank_restarts,
+        integrity=integrity,
     )
+    degraded = None
     try:
-        stats = executor.run()
-        arrays = executor.assemble()
+        try:
+            stats = executor.run()
+            arrays = executor.assemble()
+        except RankCrashError as exc:
+            degraded = RuntimeDegradationEvent(
+                reason="restarts_exhausted",
+                backend=exc.backend,
+                detail=str(exc),
+                fallback="inline",
+                ranks=tuple(exc.dead_ranks),
+            )
+        except DeadlockError as exc:
+            chaos_armed = (
+                executor.transport is not None
+                and executor.transport.chaos is not None
+            )
+            if not chaos_armed:
+                raise  # a clean-run deadlock is a real bug: propagate
+            degraded = RuntimeDegradationEvent(
+                reason="deadlock",
+                backend=executor.transport.name,
+                detail=str(exc),
+                fallback="inline",
+            )
     finally:
         executor.close()
+    if degraded is None:
+        return arrays, stats
+    # Graceful degradation: re-execute the whole program on the
+    # deterministic inline backend, faults off.
+    fallback = SPMDExecutor(
+        result, seed, vectorize=vectorize, transport="inline",
+        collectives=collectives, watchdog_s=watchdog_s, kernels=kernels,
+    )
+    try:
+        stats = fallback.run()
+        arrays = fallback.assemble()
+    finally:
+        fallback.close()
+    stats.sync_faults(executor.wire)  # carry the failed attempt's ledger
+    stats.degradations.append(degraded.to_dict())
     return arrays, stats

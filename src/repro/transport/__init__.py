@@ -14,6 +14,13 @@ Transport` interface:
 schedules (neighbor exchange, ring allgather, combining-tree
 reductions); every backend records wire-level accounting that the
 executor cross-checks against the plan-time predictions exactly.
+
+:mod:`repro.transport.integrity` adds the wire-integrity layer
+(sequence numbers, CRC32 checksums, dedup, NACK/retransmit) and the
+seeded deterministic fault plans that :mod:`repro.transport.chaos`
+injects through any backend; injected rank crashes are recovered by
+checkpoint/restart, and past the restart budget the executor degrades
+gracefully to the ``inline`` backend.
 """
 
 from __future__ import annotations
@@ -21,12 +28,15 @@ from __future__ import annotations
 from .base import (
     DeadlockError,
     OpReceipt,
+    RankCrashError,
     RankOpStats,
     Transport,
     TransportError,
     WireStats,
 )
+from .chaos import ChaosTransport, RuntimeDegradationEvent, make_chaos
 from .inline import InlineTransport
+from .integrity import KINDS, ChaosState, FaultPlan
 from .lowering import (
     LoweredComm,
     ReduceLowering,
@@ -47,34 +57,64 @@ BACKENDS = {
 
 
 def make_transport(
-    spec: "str | Transport | None", nranks: int, watchdog_s: float = 30.0
+    spec: "str | Transport | None",
+    nranks: int,
+    watchdog_s: float = 30.0,
+    chaos: "FaultPlan | str | None" = None,
+    max_rank_restarts: int | None = None,
+    integrity: bool | None = None,
 ) -> Transport | None:
     """Resolve a transport spec: ``None`` (keep the legacy direct-copy
     path), a backend name from :data:`BACKENDS`, or an already-built
-    :class:`Transport` instance (returned as-is)."""
+    :class:`Transport` instance (returned as-is, though ``chaos`` /
+    ``max_rank_restarts`` / ``integrity`` are still applied).
+
+    ``chaos`` arms fault injection: a :class:`FaultPlan` or a
+    ``--chaos-spec`` string (see :meth:`FaultPlan.parse`), wrapping the
+    backend in a :class:`ChaosTransport`.  ``integrity=False`` disables
+    checksum verification on clean runs (chaos forces it back on).
+    """
     if spec is None:
         return None
     if isinstance(spec, Transport):
-        return spec
-    try:
-        cls = BACKENDS[spec]
-    except KeyError:
-        raise TransportError(
-            f"unknown transport backend {spec!r}; "
-            f"expected one of {sorted(BACKENDS)}"
-        ) from None
-    return cls(nranks, watchdog_s=watchdog_s)
+        transport = spec
+    else:
+        try:
+            cls = BACKENDS[spec]
+        except KeyError:
+            raise TransportError(
+                f"unknown transport backend {spec!r}; "
+                f"expected one of {sorted(BACKENDS)}"
+            ) from None
+        transport = cls(nranks, watchdog_s=watchdog_s)
+    if integrity is not None:
+        transport.integrity = integrity
+    if max_rank_restarts is not None:
+        transport.max_rank_restarts = max_rank_restarts
+    if chaos is not None:
+        if isinstance(chaos, str):
+            chaos = FaultPlan.parse(chaos)
+        return ChaosTransport(
+            transport, chaos, max_rank_restarts=max_rank_restarts
+        )
+    return transport
 
 
 __all__ = [
     "BACKENDS",
+    "ChaosState",
+    "ChaosTransport",
     "DeadlockError",
+    "FaultPlan",
     "InlineTransport",
+    "KINDS",
     "LoweredComm",
     "MultiprocessTransport",
     "OpReceipt",
+    "RankCrashError",
     "RankOpStats",
     "ReduceLowering",
+    "RuntimeDegradationEvent",
     "SendOp",
     "ThreadedTransport",
     "Transport",
@@ -82,6 +122,7 @@ __all__ = [
     "WireStats",
     "lower_comm",
     "lower_reduction",
+    "make_chaos",
     "make_transport",
     "reduction_tree",
 ]

@@ -35,6 +35,34 @@ class TransportError(SimulationError):
     """A transport backend failed to execute a schedule."""
 
 
+class RankCrashError(TransportError):
+    """A worker rank died (injected crash or real) and the bounded
+    restart budget could not bring the operation home.  The executor's
+    degradation ladder catches this and re-executes on the inline
+    backend; in strict contexts it propagates with the restart history."""
+
+    def __init__(self, backend: str, dead_ranks: list[int],
+                 restarts: int, max_restarts: int) -> None:
+        self.backend = backend
+        self.dead_ranks = dead_ranks
+        self.restarts = restarts
+        self.max_restarts = max_restarts
+        super().__init__(
+            f"{backend} transport: rank(s) {dead_ranks} died and the "
+            f"restart budget is exhausted ({restarts}/{max_restarts} "
+            f"restarts used)"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "error": "rank_crash",
+            "backend": self.backend,
+            "dead_ranks": self.dead_ranks,
+            "restarts": self.restarts,
+            "max_restarts": self.max_restarts,
+        }
+
+
 class DeadlockError(TransportError):
     """The watchdog fired: one or more ranks were stuck past the
     timeout.  Carries a structured diagnostic instead of a hang —
@@ -48,11 +76,13 @@ class DeadlockError(TransportError):
         timeout_s: float,
         stuck: list[dict],
         stacks: dict[int, str] | None = None,
+        fault_context: dict | None = None,
     ) -> None:
         self.backend = backend
         self.timeout_s = timeout_s
         self.stuck = stuck
         self.stacks = stacks or {}
+        self.fault_context = fault_context
         detail = "; ".join(
             f"rank {s['rank']}: {s.get('state', '?')}"
             + (f" (waiting on {s['waiting_on']})" if s.get("waiting_on") else "")
@@ -64,13 +94,16 @@ class DeadlockError(TransportError):
         )
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "error": "deadlock",
             "backend": self.backend,
             "timeout_s": self.timeout_s,
             "stuck": self.stuck,
             "stacks": {str(r): s for r, s in self.stacks.items()},
         }
+        if self.fault_context is not None:
+            out["fault_context"] = self.fault_context
+        return out
 
 
 @dataclass
@@ -88,8 +121,14 @@ class RankOpStats:
     wait_s: float = 0.0
     barrier_s: float = 0.0
     barrier_stalls: int = 0
+    crc_failures: int = 0
+    dedup_drops: int = 0
+    nacks: int = 0
+    retransmits: int = 0
+    retrans_bytes: int = 0
     pair_msgs: dict = field(default_factory=dict)   # (src, dst) -> count
     pair_bytes: dict = field(default_factory=dict)  # (src, dst) -> bytes
+    injected: dict = field(default_factory=dict)    # fault kind -> count
 
 
 @dataclass
@@ -124,6 +163,14 @@ class WireStats:
     barrier_stalls: int = 0
     pool_hits: int = 0
     pool_misses: int = 0
+    crc_failures: int = 0
+    dedup_drops: int = 0
+    nacks: int = 0
+    retransmits: int = 0
+    retrans_bytes: int = 0
+    restarts: int = 0
+    recovery_s: float = 0.0
+    injected: dict = field(default_factory=dict)  # fault kind -> count
     pair_msgs: dict = field(default_factory=dict)
     pair_bytes: dict = field(default_factory=dict)
     send_s: dict = field(default_factory=dict)     # rank -> seconds
@@ -139,6 +186,13 @@ class WireStats:
         self.barrier_stalls += rs.barrier_stalls
         self.pool_hits += rs.pool_hits
         self.pool_misses += rs.pool_misses
+        self.crc_failures += rs.crc_failures
+        self.dedup_drops += rs.dedup_drops
+        self.nacks += rs.nacks
+        self.retransmits += rs.retransmits
+        self.retrans_bytes += rs.retrans_bytes
+        for kind, n in rs.injected.items():
+            self.injected[kind] = self.injected.get(kind, 0) + n
         for pair, n in rs.pair_msgs.items():
             self.pair_msgs[pair] = self.pair_msgs.get(pair, 0) + n
         for pair, n in rs.pair_bytes.items():
@@ -152,6 +206,16 @@ class WireStats:
         self.ops += 1
         self.algorithms[algorithm] = self.algorithms.get(algorithm, 0) + 1
 
+    @property
+    def faults_injected(self) -> int:
+        return sum(self.injected.values())
+
+    @property
+    def faults_detected(self) -> int:
+        """Faults the integrity layer caught and acted on: checksum
+        failures, duplicate discards, and receive timeouts (NACKs)."""
+        return self.crc_failures + self.dedup_drops + self.nacks
+
     def as_dict(self) -> dict:
         return {
             "backend": self.backend,
@@ -163,6 +227,20 @@ class WireStats:
             "barrier_stalls": self.barrier_stalls,
             "pool_hits": self.pool_hits,
             "pool_misses": self.pool_misses,
+            "integrity": {
+                "crc_failures": self.crc_failures,
+                "dedup_drops": self.dedup_drops,
+                "nacks": self.nacks,
+                "retransmits": self.retransmits,
+                "retrans_bytes": self.retrans_bytes,
+            },
+            "faults": {
+                "injected": dict(sorted(self.injected.items())),
+                "injected_total": self.faults_injected,
+                "detected_total": self.faults_detected,
+                "restarts": self.restarts,
+                "recovery_s": round(self.recovery_s, 6),
+            },
             "algorithms": dict(sorted(self.algorithms.items())),
             "pair_msgs": {
                 f"{s}->{d}": n for (s, d), n in sorted(self.pair_msgs.items())
@@ -261,6 +339,14 @@ class BufferPool:
         """Return a rented buffer to its bucket."""
         self._buckets.setdefault(buf.shape[0], []).append(buf)
 
+    def free_count(self) -> int:
+        """Buffers currently sitting in the free lists.  At quiescence
+        (no op in flight) conservation holds: every allocation ever made
+        (``misses``) is either in a free list or leaked — so
+        ``free_count() == misses`` proves no buffer escaped, even on
+        exception paths."""
+        return sum(len(free) for free in self._buckets.values())
+
 
 # Compiled pack/unpack functions, keyed by the send's normalized index
 # geometry (slices are unhashable, so each is flattened to a
@@ -340,6 +426,34 @@ class Transport:
         self.watchdog_s = watchdog_s
         self.stats = WireStats(backend=self.name)
         self._poisoned: str | None = None
+        self.chaos = None  # ChaosState when fault injection is armed
+        self.max_rank_restarts = 2
+        # Wire integrity (CRC32 frame checksums) is on by default; the
+        # chaos bench turns it off to measure clean-run overhead.
+        self.integrity = True
+
+    def attach_chaos(self, chaos, max_rank_restarts: int | None = None):
+        """Arm fault injection.  Called by :class:`~repro.transport.
+        chaos.ChaosTransport` before ``start``; backends read
+        ``self.chaos`` on their data paths and enable the repair
+        machinery (outbox, dedup, NACK/retransmit) when it is set."""
+        self.chaos = chaos
+        self.integrity = True  # corruption detection requires checksums
+        if max_rank_restarts is not None:
+            self.max_rank_restarts = max_rank_restarts
+        return self
+
+    def _sync_injected(self) -> None:
+        """Mirror the chaos ledger's cumulative totals into the wire
+        stats (the ledger is authoritative; this is the reporting
+        copy).  Backends call this after each completed operation."""
+        if self.chaos is None:
+            return
+        total: dict[str, int] = {}
+        for row in self.chaos.ledger().values():
+            for kind, n in row.items():
+                total[kind] = total.get(kind, 0) + n
+        self.stats.injected = total
 
     # -- storage ----------------------------------------------------------
 

@@ -20,10 +20,12 @@ from .base import (
     OpReceipt,
     RankOpStats,
     Transport,
+    TransportError,
     combine_pieces,
     pack_payload,
     unpack_payload,
 )
+from .integrity import payload_crc
 from .lowering import SCALAR_BYTES, LoweredComm, lower_reduction
 
 
@@ -43,9 +45,15 @@ class InlineTransport(Transport):
 
     def execute(self, lowered: LoweredComm) -> OpReceipt:
         self._check_alive()
+        chaos = self.chaos
         receipt = OpReceipt(algorithm=lowered.algorithm)
         per_rank = {r: RankOpStats() for r in range(self.nranks)}
         for rnd in lowered.rounds:
+            # Stage entries: (send, wire buf or None if dropped, count,
+            # pristine copy, crc, duplicated).  Fault injection happens
+            # at stage time, detection and repair at install time —
+            # the sequential mirror of the concurrent backends'
+            # sender/receiver split.
             staged = []
             for s in rnd:
                 t0 = time.perf_counter()
@@ -53,14 +61,57 @@ class InlineTransport(Transport):
                 count = s.nbytes // SCALAR_BYTES
                 buf = self._pool.rent(count, per_rank[s.src])
                 pack_payload(store.values, s, buf[:count])
-                staged.append((s, buf, count))
+                crc = payload_crc(buf[:count]) if self.integrity else 0
+                pristine = None
+                duplicated = False
+                if chaos is not None and not s.is_local:
+                    pristine = buf[:count].copy()
+                    chaos.fires("delay", s.src, s.dst, s.seq)  # ledger only
+                    if chaos.fires("drop", s.src, s.dst, s.seq):
+                        self._pool.give(buf)
+                        buf = None
+                    elif chaos.fires("corrupt", s.src, s.dst, s.seq):
+                        buf[:count].view(np.uint8)[0] ^= 0xFF
+                    duplicated = chaos.fires("dup", s.src, s.dst, s.seq)
+                entry = (s, buf, count, pristine, crc, duplicated)
+                if (
+                    chaos is not None and staged
+                    and chaos.fires("reorder", s.src, s.dst, s.seq)
+                ):
+                    staged.insert(len(staged) - 1, entry)
+                else:
+                    staged.append(entry)
                 per_rank[s.src].send_s += time.perf_counter() - t0
-            for s, buf, count in staged:
+            for s, buf, count, pristine, crc, duplicated in staged:
                 t0 = time.perf_counter()
                 store = self.storage[s.dst][s.array]
-                unpack_payload(store.values, store.valid, s, buf[:count])
-                self._pool.give(buf)
                 rs = per_rank[s.dst]
+                if buf is None:  # dropped: NACK, install the retransmit
+                    rs.nacks += 1
+                    rs.retransmits += 1
+                    rs.retrans_bytes += s.nbytes
+                    unpack_payload(
+                        store.values, store.valid, s, pristine[:count]
+                    )
+                else:
+                    payload = buf[:count]
+                    if (
+                        self.integrity
+                        and payload_crc(payload) != crc
+                    ):
+                        rs.crc_failures += 1
+                        if pristine is None:
+                            raise TransportError(
+                                f"inline transport: checksum mismatch "
+                                f"on clean run (seq {s.seq})"
+                            )
+                        rs.retransmits += 1
+                        rs.retrans_bytes += s.nbytes
+                        payload = pristine[:count]
+                    unpack_payload(store.values, store.valid, s, payload)
+                    self._pool.give(buf)
+                if duplicated:  # the duplicate frame is discarded
+                    rs.dedup_drops += 1
                 rs.recv_s += time.perf_counter() - t0
                 if s.is_local:
                     rs.local_copies += 1
@@ -77,6 +128,7 @@ class InlineTransport(Transport):
             receipt.absorb(rs)
             self.stats.absorb(rank, rs)
         self.stats.count_op(lowered.algorithm)
+        self._sync_injected()
         return receipt
 
     def reduce(self, pieces: dict[int, np.ndarray], op: str):

@@ -1,0 +1,238 @@
+"""Wire integrity and deterministic fault injection.
+
+Two cooperating pieces live here:
+
+* the **integrity layer** — every wire payload travels in a *frame*
+  tagged with the operation id, the schedule sequence number, and a
+  CRC32 checksum of the payload bytes.  Receivers verify the checksum,
+  deduplicate by sequence number, tolerate reordering (under chaos) by
+  stashing out-of-order frames, and repair loss/corruption by a
+  NACK/retransmit protocol with bounded exponential backoff: the sender
+  keeps a pristine copy of every in-flight payload in a per-channel
+  *outbox* (process memory for the threaded backend, a mirror
+  shared-memory arena for the multiprocess one), and a receiver that
+  times out or sees a bad checksum pulls the retransmission from there.
+  Retransmitted traffic is accounted separately
+  (``retransmits``/``retrans_bytes`` on the wire ledger) so the exact
+  measured-vs-predicted per-pair parity check still holds under faults;
+
+* the **fault plan** — a seeded, deterministic description of which
+  faults to inject where.  Decisions are pure functions of
+  ``(seed, kind, src, dst, seq)`` (a CRC32 hash, no mutable PRNG
+  state), so the *set* of faulted wire events is identical across
+  thread/process interleavings and across the replay attempts the
+  crash-recovery path makes.  Rank crashes are the exception: they
+  consume a shared budget (``crash_budget``), so a crashed rank comes
+  back healthy after its restart instead of dying at the same program
+  point forever.
+
+Fault taxonomy (``KINDS``): ``drop`` (frame never enters the channel),
+``dup`` (a second, non-pooled copy follows the original), ``corrupt``
+(bytes of the wire copy flipped after the checksum was taken),
+``delay`` (the sender sleeps before posting), ``reorder`` (the frame is
+held back and posted after its successor), ``crash`` (the worker
+thread/process dies at a send boundary — a safe point that holds no
+queue locks).
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+import zlib
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+#: Injectable fault kinds, in ledger order.
+KINDS = ("drop", "dup", "corrupt", "delay", "reorder", "crash")
+_KIND_ID = {kind: i for i, kind in enumerate(KINDS)}
+
+
+class ChaosCrash(Exception):
+    """Internal: a ``crash`` fault fired — the worker must die here
+    (thread: exit the worker loop without reporting; process:
+    ``os._exit``).  Never escapes a backend."""
+
+    def __init__(self, rank: int) -> None:
+        super().__init__(f"injected crash on rank {rank}")
+        self.rank = rank
+
+
+def payload_crc(buf: np.ndarray) -> int:
+    """CRC32 of a contiguous float64 payload's bytes."""
+    return zlib.crc32(buf)
+
+
+def _roll(seed: int, kind: str, src: int, dst: int, seq: int) -> float:
+    """Deterministic uniform [0, 1) draw for one wire event.  A pure
+    hash — no shared PRNG state — so every thread/process/attempt
+    agrees on which events fault."""
+    key = struct.pack(
+        "<IIiiI", seed & 0xFFFFFFFF, _KIND_ID[kind],
+        src, dst, seq & 0xFFFFFFFF,
+    )
+    return zlib.crc32(key) / 4294967296.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, deterministic chaos specification.
+
+    Rates are per-wire-send probabilities, decided by :func:`_roll`.
+    ``crash_budget`` bounds the total number of injected crashes (shared
+    across ranks and replay attempts); ``delay_s`` is the injected
+    latency, deliberately longer than ``nack_timeout_s`` by default so
+    delays exercise the spurious-retransmit + dedup path.  Picklable —
+    the multiprocess workers receive it verbatim.
+    """
+
+    seed: int = 0
+    drop: float = 0.0
+    dup: float = 0.0
+    corrupt: float = 0.0
+    delay: float = 0.0
+    reorder: float = 0.0
+    crash: float = 0.0
+    crash_budget: int = 1
+    delay_s: float = 0.08
+    nack_timeout_s: float = 0.03
+    backoff_cap_s: float = 0.5
+
+    def rate(self, kind: str) -> float:
+        return float(getattr(self, kind))
+
+    @property
+    def active(self) -> bool:
+        return any(self.rate(k) > 0.0 for k in KINDS)
+
+    @property
+    def needs_outbox(self) -> bool:
+        """Repair machinery is only materialized when a fault class that
+        requires it can fire (clean runs stay copy-free)."""
+        return self.active
+
+    @classmethod
+    def single(cls, kind: str, seed: int = 0, rate: float = 0.125,
+               **overrides) -> "FaultPlan":
+        """A single-fault-class plan: one kind at ``rate``, everything
+        else off.  The seeded hash picks *which* sends fault."""
+        if kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; expected one of {KINDS}"
+            )
+        return cls(seed=seed, **{kind: rate}, **overrides)
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a ``--chaos-spec`` string: comma-separated ``key=value``
+        pairs over the dataclass fields, e.g.
+        ``"seed=7,drop=0.05,corrupt=0.02,crash=0.01,crash_budget=2"``."""
+        valid = {f.name: f.type for f in fields(cls)}
+        kwargs: dict = {}
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            name, sep, value = item.partition("=")
+            name = name.strip()
+            if not sep or name not in valid:
+                known = ", ".join(sorted(valid))
+                raise ValueError(
+                    f"bad chaos spec item {item!r}: expected KEY=VALUE "
+                    f"with KEY one of {known}"
+                )
+            kwargs[name] = (
+                int(value) if name in ("seed", "crash_budget")
+                else float(value)
+            )
+        return cls(**kwargs)
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class ChaosState:
+    """Mutable chaos bookkeeping shared by one transport's workers.
+
+    Tracks the per-rank injected-fault ledger (what the plan actually
+    fired, by kind) and the remaining crash budget.  The threaded and
+    inline backends use plain process memory behind a lock; the
+    multiprocess backend passes shared primitives (``ledger_array``: a
+    flat ``RawArray('q', nranks * len(KINDS))``, ``crash_counter``: an
+    ``mp.Value``) so worker processes and the collector see one ledger.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        nranks: int,
+        ledger_array=None,
+        crash_counter=None,
+    ) -> None:
+        self.plan = plan
+        self.nranks = nranks
+        self._ledger = ledger_array
+        if ledger_array is None:
+            self._local = [[0] * len(KINDS) for _ in range(nranks)]
+        self._crashes = crash_counter
+        self._crashes_local = 0
+        self._lock = threading.Lock()
+
+    # -- decisions ---------------------------------------------------------
+
+    def fires(self, kind: str, src: int, dst: int, seq: int) -> bool:
+        rate = self.plan.rate(kind)
+        if rate <= 0.0:
+            return False
+        if _roll(self.plan.seed, kind, src, dst, seq) >= rate:
+            return False
+        if kind == "crash" and not self._take_crash():
+            return False
+        self.record(src, kind)
+        return True
+
+    def _take_crash(self) -> bool:
+        """Consume one unit of the crash budget; False once exhausted —
+        the restarted worker survives its old crash point."""
+        if self._crashes is not None:
+            with self._crashes.get_lock():
+                if self._crashes.value >= self.plan.crash_budget:
+                    return False
+                self._crashes.value += 1
+                return True
+        with self._lock:
+            if self._crashes_local >= self.plan.crash_budget:
+                return False
+            self._crashes_local += 1
+            return True
+
+    # -- ledger ------------------------------------------------------------
+
+    def record(self, rank: int, kind: str) -> None:
+        idx = _KIND_ID[kind]
+        if self._ledger is not None:
+            self._ledger[rank * len(KINDS) + idx] += 1
+        else:
+            with self._lock:
+                self._local[rank][idx] += 1
+
+    def ledger(self) -> dict[int, dict[str, int]]:
+        """Per-rank injected-fault counts, only nonzero entries."""
+        out: dict[int, dict[str, int]] = {}
+        for rank in range(self.nranks):
+            row = {}
+            for kind, idx in _KIND_ID.items():
+                n = (
+                    self._ledger[rank * len(KINDS) + idx]
+                    if self._ledger is not None
+                    else self._local[rank][idx]
+                )
+                if n:
+                    row[kind] = int(n)
+            if row:
+                out[rank] = row
+        return out
+
+    def injected_total(self) -> int:
+        return sum(sum(row.values()) for row in self.ledger().values())

@@ -10,6 +10,7 @@ from repro.machine.model import SP2, MachineModel, calibrated_model, fit_linear_
 from repro.perf.history import (
     HISTORY_FILE,
     append_history,
+    chaos_headline,
     compile_headline,
     kernel_headline,
     spmd_headline,
@@ -95,6 +96,30 @@ class TestHistory:
         assert h["calibrated_bandwidth_bps"]["inline"] == 1e9
         assert h["P"] == 4 and h["grid"] == [2, 2]
 
+    def test_chaos_headline(self):
+        payload = {
+            "mode": "quick", "ok": True,
+            "backends": ["multiprocess", "threaded"],
+            "runs": 84, "survived": 84, "survival_rate": 1.0,
+            "recovery": {
+                "rank_restarts": 24, "total_recovery_s": 0.07,
+                "mean_recovery_s": 0.003,
+            },
+            "integrity_overhead": {
+                "threaded": {"overhead_pct": 1.2, "ok": True},
+                "multiprocess": {"overhead_pct": 3.4, "ok": True},
+            },
+        }
+        h = chaos_headline(payload)
+        assert h["ok"] is True
+        assert h["runs"] == 84
+        assert h["survival_rate"] == 1.0
+        assert h["rank_restarts"] == 24
+        assert h["mean_recovery_s"] == 0.003
+        assert h["integrity_overhead_pct"] == {
+            "threaded": 1.2, "multiprocess": 3.4,
+        }
+
     def test_headlines_are_backfill_safe(self):
         # Payloads written before grid stamping carry no params: the
         # new P/grid fields must come out None, never raise.
@@ -110,6 +135,11 @@ class TestHistory:
             "calibration": {},
         })
         assert h["P"] is None and h["grid"] is None
+        # Chaos payloads predating a counter degrade to None/{} fields.
+        h = chaos_headline({"mode": "quick", "ok": False})
+        assert h["survival_rate"] is None
+        assert h["rank_restarts"] is None
+        assert h["integrity_overhead_pct"] == {}
 
     def test_kernel_headline_one_record_per_grid(self):
         cell = {

@@ -243,6 +243,8 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
+    import dataclasses
+
     from .perf.batch import BatchCompiler, BatchJob, RetryPolicy, benchmark_jobs
 
     options = CompilerOptions(enable_caches=not args.no_caches)
@@ -270,11 +272,25 @@ def cmd_batch(args: argparse.Namespace) -> int:
         max_retries=args.retries,
         quarantine_after=args.quarantine_after,
     )
+    # --ndjson streams one JSON object per completed job as it lands
+    # (fresh compiles at completion, cache hits at delivery), so long
+    # batch runs are observable mid-flight; stdout stays pure NDJSON.
+    on_result = None
+    if args.ndjson:
+        def on_result(res):  # noqa: ANN001 - BatchResult
+            print(json.dumps(
+                {"kind": "result", "ok": res.ok,
+                 **dataclasses.asdict(res)},
+                sort_keys=True,
+            ), flush=True)
     compiler = BatchCompiler(
-        workers=args.workers, policy=policy, checkpoint_path=args.checkpoint
+        workers=args.workers, policy=policy, checkpoint_path=args.checkpoint,
+        cache_dir=args.cache_dir, on_result=on_result,
     )
     for round_no in range(args.repeat):
         results = compiler.run(jobs)
+        if args.ndjson:
+            continue
         if round_no == 0 or args.repeat > 1:
             print(f"-- round {round_no + 1}")
             for r in results:
@@ -287,6 +303,18 @@ def cmd_batch(args: argparse.Namespace) -> int:
                         f"{r.call_sites_by_kind}"
                     )
     s = compiler.stats
+    if args.ndjson:
+        print(json.dumps({
+            "kind": "summary",
+            "jobs": s.jobs, "compiled": s.compiled,
+            "cache_hits": s.cache_hits, "deduped": s.deduped,
+            "errors": s.errors, "elapsed_s": round(s.elapsed, 4),
+            "hit_rate": round(s.hit_rate, 4),
+            "timeouts": s.timeouts, "retries": s.retries,
+            "quarantined": s.quarantined, "resumed": s.resumed,
+            "cache": compiler.cache.stats.as_dict(),
+        }, sort_keys=True), flush=True)
+        return 1 if s.errors else 0
     extras = ""
     if s.timeouts or s.retries or s.quarantined or s.resumed:
         extras = (
@@ -298,7 +326,19 @@ def cmd_batch(args: argparse.Namespace) -> int:
         f"{s.deduped} deduped, {s.errors} errors in {s.elapsed:.3f}s "
         f"(hit rate {s.hit_rate:.0%}){extras}"
     )
+    if args.cache_dir:
+        cs = compiler.cache.stats
+        print(
+            f"   cache tiers: {cs.memory_hits} memory, {cs.disk_hits} disk, "
+            f"{cs.misses} misses, {cs.corrupt} corrupt"
+        )
     return 1 if s.errors else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service.server import run_server
+
+    return run_server(args)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -363,6 +403,20 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if getattr(args, "service", False):
+        from .perf.servicebench import (
+            format_service_bench,
+            write_service_bench,
+        )
+
+        output = args.output
+        if output == "BENCH_compile.json":  # default belongs to compile mode
+            output = "BENCH_service.json"
+        payload = write_service_bench(path=output, quick=args.quick)
+        print(format_service_bench(payload))
+        print(f"\nwrote {output}")
+        return 0 if payload["ok"] else 1
+
     if getattr(args, "chaos", False):
         from .perf.chaosbench import format_chaos_bench, write_chaos_bench
 
@@ -530,6 +584,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint", default=None, metavar="FILE",
                    help="persist results to FILE as they land; a killed "
                         "run restarted with the same FILE resumes there")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed disk cache shared across runs "
+                        "(and with the compile service)")
+    p.add_argument("--ndjson", action="store_true",
+                   help="stream one JSON object per completed job to "
+                        "stdout (plus a final summary object) instead of "
+                        "the human report")
     p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser(
@@ -565,10 +626,53 @@ def build_parser() -> argparse.ArgumentParser:
                         "report survival rate, recovery latency, and "
                         "clean-run integrity overhead; writes "
                         "BENCH_chaos.json")
+    p.add_argument("--service", action="store_true",
+                   help="compile-service load benchmark instead: drive an "
+                        "in-process asyncio server with concurrent HTTP "
+                        "traffic, verify every response bitwise against a "
+                        "direct compile, and report latency/cache/"
+                        "coalescing numbers; writes BENCH_service.json")
     p.add_argument("--quick", action="store_true",
                    help="with --spmd/--transport/--kernels/--chaos: small "
                         "problem sizes for CI smoke runs")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "serve", help="asyncio compile server: POST mini-HPF sources to "
+                      "/v1/compile (or JSON-RPC /rpc), get schedules, "
+                      "diagnostics, and pass traces back"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8377,
+                   help="listen port (0 = ephemeral; default 8377)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="compile process-pool size (0 = in-process "
+                        "threads, for tests; default 2)")
+    p.add_argument("--memory-budget", type=int,
+                   default=64 * 1024 * 1024, metavar="BYTES",
+                   help="in-memory schedule-cache budget (default 64 MiB)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed disk cache tier, shared with "
+                        "'repro batch --cache-dir'")
+    p.add_argument("--timeout", type=float, default=120.0, metavar="SECONDS",
+                   help="per-compile wall-clock timeout (default 120)")
+    p.add_argument("--retries", type=int, default=2, metavar="N",
+                   help="retries after a timeout or worker crash (default 2)")
+    p.add_argument("--quarantine-after", type=int, default=3, metavar="N",
+                   help="failed attempts before a program key is "
+                        "quarantined (default 3)")
+    p.add_argument("--quota-rate", type=float, default=None, metavar="R",
+                   help="per-tenant token-bucket refill rate in "
+                        "requests/second (default: unlimited)")
+    p.add_argument("--quota-burst", type=float, default=8.0, metavar="B",
+                   help="per-tenant burst size (default 8)")
+    p.add_argument("--max-pending", type=int, default=1024,
+                   help="distinct in-flight compilations before "
+                        "backpressure 429s (default 1024)")
+    p.add_argument("--access-log", default=None, metavar="FILE",
+                   help="NDJSON access log: one JSON object per response "
+                        "('-' = stdout, 'none' = disabled; default none)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "run", help="compile and execute on simulated ranks through a "

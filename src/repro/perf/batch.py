@@ -7,10 +7,12 @@ parameter bindings, strategy, and every :class:`CompilerOptions` field),
 compiles distinct jobs — across processes when ``workers > 1`` — and
 returns picklable :class:`BatchResult` summaries.
 
-The result cache lives on the :class:`BatchCompiler` instance and persists
-across :meth:`BatchCompiler.run` calls, so a driver recompiling a mostly
-unchanged program set (the common edit-compile loop) only pays for the
-files whose content actually changed.  Full :class:`CompilationResult`
+The result cache is a :class:`repro.perf.cache.ScheduleCache` — the same
+two-tier implementation behind the compile service — persisting across
+:meth:`BatchCompiler.run` calls (and, with ``cache_dir``, across
+processes via the content-addressed disk tier), so a driver recompiling
+a mostly unchanged program set (the common edit-compile loop) only pays
+for the files whose content actually changed.  Full :class:`CompilationResult`
 objects hold ASTs and analysis state and are deliberately *not* shipped
 between processes; workers reduce them to summaries first.
 
@@ -44,10 +46,11 @@ from concurrent.futures import (
 )
 from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, field as dc_field, fields
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from ..core.context import CompilerOptions
 from ..core.pipeline import Strategy, compile_program
+from .cache import ScheduleCache
 
 
 @dataclass(frozen=True)
@@ -132,6 +135,19 @@ def _compile_job(job: BatchJob, key: str) -> BatchResult:
     )
 
 
+def kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear down a pool that may hold a stuck or dead worker.  Shared
+    with the compile service, whose retry ladder has the same problem:
+    a cancelled future does not stop the worker process holding it."""
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.terminate()
+        except (OSError, ValueError):
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 @dataclass
 class BatchStats:
     jobs: int = 0
@@ -184,6 +200,16 @@ def _failure_result(job: BatchJob, key: str, message: str) -> BatchResult:
     )
 
 
+def _result_from_dict(rec: object) -> Optional[BatchResult]:
+    """Rehydrate a cached/checkpointed record; None on schema drift."""
+    if not isinstance(rec, dict):
+        return None
+    try:
+        return BatchResult(**rec)
+    except TypeError:
+        return None  # field mismatch from an older version: recompile
+
+
 class BatchCompiler:
     """Compiles job lists, reusing results for unchanged content.
 
@@ -192,6 +218,16 @@ class BatchCompiler:
     machine is also the fastest configuration.  ``policy`` bounds each
     pooled job (timeout/retry/quarantine); ``checkpoint_path`` makes runs
     resumable across process death.
+
+    Results live in a :class:`~repro.perf.cache.ScheduleCache` — pass
+    ``cache_dir`` to add the content-addressed disk tier, making the
+    result cache shared across *runs and processes*: a second batch over
+    the same corpus is served entirely from disk, and the same directory
+    warms the compile service's cache (and vice versa).  Only successful
+    results are persisted; failures stay in this instance's memory tier.
+    ``on_result`` is invoked once per delivered result as it lands
+    (fresh compiles at completion, cache hits at delivery) — the CLI's
+    ``--ndjson`` streaming hook.
     """
 
     def __init__(
@@ -199,6 +235,9 @@ class BatchCompiler:
         workers: int = 1,
         policy: RetryPolicy | None = None,
         checkpoint_path: "str | os.PathLike[str] | None" = None,
+        cache_dir: "str | os.PathLike[str] | None" = None,
+        cache: ScheduleCache | None = None,
+        on_result: Optional[Callable[[BatchResult], None]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -207,7 +246,12 @@ class BatchCompiler:
         self.checkpoint_path = (
             os.fspath(checkpoint_path) if checkpoint_path is not None else None
         )
-        self._results: dict[str, BatchResult] = {}
+        # `cache or ...` would discard an *empty* shared cache:
+        # ScheduleCache defines __len__, so a fresh one is falsy.
+        self.cache = cache if cache is not None else ScheduleCache(
+            memory_budget_bytes=None, cache_dir=cache_dir
+        )
+        self.on_result = on_result
         self.quarantined: set[str] = set()
         self.stats = BatchStats()
         self._load_checkpoint()
@@ -222,29 +266,38 @@ class BatchCompiler:
                 payload = json.load(fh)
         except (OSError, ValueError):
             return  # corrupt/truncated checkpoint: start fresh
+        resumed = 0
         for key, rec in payload.get("results", {}).items():
-            try:
-                self._results[key] = BatchResult(**rec)
-            except TypeError:
-                continue  # field mismatch from an older version: recompile
+            res = _result_from_dict(rec)
+            if res is None:
+                continue
+            self.cache.put(key, rec, durable=res.ok)
+            resumed += 1
         self.quarantined.update(payload.get("quarantined", []))
-        self.stats.resumed = len(self._results)
+        self.stats.resumed = resumed
 
     def _save_checkpoint(self) -> None:
-        """Atomically persist every result so far (rename is the commit)."""
+        """Atomically persist every result so far (rename is the commit).
+        Snapshots the cache's memory tier — complete under the batch
+        default of an unbounded memory budget."""
         if not self.checkpoint_path:
             return
         payload = {
-            "results": {
-                key: dataclasses.asdict(res)
-                for key, res in self._results.items()
-            },
+            "results": self.cache.snapshot(),
             "quarantined": sorted(self.quarantined),
         }
         tmp = f"{self.checkpoint_path}.tmp.{os.getpid()}"
         with open(tmp, "w") as fh:
             json.dump(payload, fh)
         os.replace(tmp, self.checkpoint_path)
+
+    def _store(self, key: str, res: BatchResult) -> None:
+        """Commit one fresh result: cache (disk only when ok),
+        checkpoint, and the streaming callback."""
+        self.cache.put(key, dataclasses.asdict(res), durable=res.ok)
+        self._save_checkpoint()
+        if self.on_result is not None:
+            self.on_result(res)
 
     def run(self, jobs: Iterable[BatchJob]) -> list[BatchResult]:
         """Compile ``jobs``, returning one result per job in order.
@@ -257,21 +310,28 @@ class BatchCompiler:
         start = time.perf_counter()
         keys = [job_key(job) for job in jobs]
 
-        # Distinct keys not yet cached, first-come order.
+        # One cache lookup per distinct key (memory, then disk tier);
+        # keys both tiers miss are compiled.
+        found: dict[str, BatchResult] = {}
         pending: dict[str, BatchJob] = {}
         for job, key in zip(jobs, keys):
-            if key not in self._results and key not in pending:
+            if key in found or key in pending:
+                continue
+            res = _result_from_dict(self.cache.get(key))
+            if res is not None:
+                found[key] = res
+            else:
                 pending[key] = job
 
         fresh = self._compile_pending(pending)
-        self._results.update(fresh)
 
         out: list[BatchResult] = []
         delivered: set[str] = set()
         for job, key in zip(jobs, keys):
-            cached = self._results[key]
+            cached = fresh[key] if key in fresh else found[key]
             if key in fresh and key not in delivered:
-                # First delivery of a fresh compile.
+                # First delivery of a fresh compile (already streamed
+                # by _store when it landed).
                 delivered.add(key)
                 out.append(cached)
                 self.stats.compiled += 1
@@ -282,6 +342,8 @@ class BatchCompiler:
                     cached, name=job.name, from_cache=True, elapsed=0.0
                 )
                 out.append(hit)
+                if self.on_result is not None:
+                    self.on_result(hit)
                 if key in fresh:
                     self.stats.deduped += 1
                 else:
@@ -302,20 +364,12 @@ class BatchCompiler:
             fresh: dict[str, BatchResult] = {}
             for key, job in pending.items():
                 fresh[key] = _compile_job(job, key)
-                self._results[key] = fresh[key]
-                self._save_checkpoint()
+                self._store(key, fresh[key])
             return fresh
         return self._compile_pooled(pending)
 
     def _kill_pool(self, pool: ProcessPoolExecutor) -> None:
-        """Tear down a pool that may hold a stuck or dead worker."""
-        processes = getattr(pool, "_processes", None) or {}
-        for proc in list(processes.values()):
-            try:
-                proc.terminate()
-            except (OSError, ValueError):
-                pass
-        pool.shutdown(wait=False, cancel_futures=True)
+        kill_pool(pool)
 
     def _compile_pooled(
         self, pending: dict[str, BatchJob]
@@ -355,8 +409,7 @@ class BatchCompiler:
                         continue
                     try:
                         fresh[key] = fut.result(timeout=policy.timeout)
-                        self._results[key] = fresh[key]
-                        self._save_checkpoint()
+                        self._store(key, fresh[key])
                     except FuturesTimeout:
                         failed.append(
                             (key, job, f"timed out after {policy.timeout}s")
@@ -398,8 +451,7 @@ class BatchCompiler:
                             f"quarantined after {attempts[key]} failed "
                             f"attempts: {why}",
                         )
-                        self._results[key] = fresh[key]
-                        self._save_checkpoint()
+                        self._store(key, fresh[key])
                     else:
                         self.stats.retries += 1
                         queue.append((key, job))

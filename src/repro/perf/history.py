@@ -174,6 +174,37 @@ def chaos_headline(payload: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+def service_headline(payload: dict[str, Any]) -> dict[str, Any]:
+    """Backfill-safe: every field degrades to None when a payload
+    predates it, so mixed-age history files still parse."""
+    phases = payload.get("phases") or {}
+    storm = phases.get("storm") or {}
+    warm = phases.get("warm") or {}
+    cold = phases.get("cold") or {}
+    coalesce = phases.get("coalesce") or {}
+    disk = phases.get("disk") or {}
+    regression = payload.get("regression") or {}
+    correctness = payload.get("correctness") or {}
+    cache = (payload.get("stats") or {}).get("cache") or {}
+    return {
+        "mode": payload.get("mode"),
+        "ok": payload.get("ok"),
+        "distinct_programs": (payload.get("corpus") or {}).get("distinct"),
+        "storm_high_water": storm.get("client_high_water"),
+        "storm_dropped": storm.get("dropped"),
+        "cold_p50_ms": cold.get("p50_ms"),
+        "warm_p99_ms": warm.get("p99_ms"),
+        "warm_rps": warm.get("throughput_rps"),
+        "speedup_ratio": regression.get("ratio"),
+        "coalesced": coalesce.get("coalesced"),
+        "disk_hits": disk.get("disk_hits"),
+        "cache_hit_rate": cache.get("hit_rate"),
+        "verified": correctness.get("verified"),
+        "mismatches": correctness.get("mismatches"),
+        "server_errors": payload.get("server_errors"),
+    }
+
+
 def kernel_headline(payload: dict[str, Any]) -> list[dict[str, Any]]:
     """One headline per swept grid — scaling curves across commits need
     per-P points, so ``--kernels`` appends several records per run."""

@@ -1,0 +1,796 @@
+"""Traffic-scale load harness for the asyncio compile service.
+
+``python -m repro bench --service`` boots an in-process
+:class:`~repro.service.server.CompileServer` on an ephemeral port and
+drives it with a pipelined asyncio HTTP client, then writes
+``BENCH_service.json``.  The phases, in order:
+
+* **cold** — every distinct corpus program (six benchmarks x three
+  strategies x parameter perturbations) bursts onto the server at once;
+  p50 here is dominated by queueing on the bounded compile pool, which
+  is the realistic "first request for this program" latency;
+* **coalesce** — N identical concurrent requests for a never-seen
+  program; the service must run **exactly one** compilation, every other
+  waiter coalescing onto its future (or hitting the cache it fills);
+* **warm** — the same corpus again at modest concurrency; everything is
+  a memory-tier hit, and ``warm.p99`` against ``cold.p50`` is the
+  regression gate (the cache must stay an order of magnitude ahead of a
+  compile);
+* **storm** — ``conns x window`` requests held in flight simultaneously
+  (1000+ in full mode): every connection sends its whole initial window
+  before anyone reads a response, so the client-measured high-water mark
+  deterministically reaches the target; zero dropped responses allowed;
+* **quota** — a throttled tenant bursts past its token bucket and must
+  see clean ``429`` + ``Retry-After`` rejections, never a 5xx;
+* **disk** — a second server instance with an empty memory cache but the
+  same ``cache_dir`` serves the whole corpus from the content-addressed
+  disk tier at a 100% hit rate.
+
+**Every** compile response in every phase is verified **bitwise** against
+a direct :func:`~repro.service.payload.compile_payload` call made in the
+bench process: the canonical JSON bytes of ``result`` (and, where
+requested, ``diagnostics``) must be identical whether the answer came
+from a pool worker, the memory tier, the disk tier, or a coalesced
+future.  The server's NDJSON access log is parsed line by line at the
+end — each line must decode independently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..service.app import CompileService
+from ..service.payload import compile_payload
+from ..service.quota import QuotaRegistry
+from ..service.server import CompileServer
+from .batch import BatchJob, RetryPolicy, job_key
+from .cache import ScheduleCache, canonical_bytes
+from .history import append_history, service_headline
+from .runbench import QUICK_PARAMS
+from .stats import environment_metadata
+
+#: Tenant name the quota phase throttles; everyone else is unlimited.
+NOISY_TENANT = "noisy"
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """One load shape; ``FULL``/``QUICK`` are the CLI presets and
+    ``TINY`` keeps the unit test under a second."""
+
+    mode: str
+    strategies: tuple[str, ...]
+    perturbations: tuple[int, ...]  # the corpus sweeps n over these
+    workers: int
+    conns: int            # storm connections
+    window: int           # pipelined requests per storm connection
+    storm_rounds: int = 2
+    warm_concurrency: int = 16
+    coalesce_n: int = 64
+    quota_rate: float = 1.0
+    quota_burst: int = 4
+    #: minimum cold.p50 / warm.p99 ratio, or None to skip the gate
+    required_ratio: Optional[float] = None
+    benchmarks: Optional[tuple[str, ...]] = None  # None = all six
+    timeout_s: float = 120.0
+
+
+FULL = BenchProfile(
+    mode="full",
+    strategies=("orig", "nored", "comb"),
+    perturbations=(8, 10, 12, 14, 16, 20, 24, 28, 32),
+    workers=min(8, os.cpu_count() or 2),
+    conns=125,
+    window=8,            # 125 x 8 = 1000 concurrent at the storm barrier
+    required_ratio=10.0,
+)
+
+#: CI smoke: smaller corpus and storm, and the 10x warm-cache gate is
+#: relaxed by the allowed 20% p99 regression (10 / 1.2).
+QUICK = BenchProfile(
+    mode="quick",
+    strategies=("orig", "nored", "comb"),
+    perturbations=(8, 10, 12, 16),
+    workers=2,
+    conns=40,
+    window=4,
+    coalesce_n=32,
+    required_ratio=10.0 / 1.2,
+)
+
+#: Unit-test profile: two distinct programs, in-process thread compiles.
+TINY = BenchProfile(
+    mode="tiny",
+    strategies=("comb",),
+    perturbations=(8, 10),
+    workers=0,
+    conns=4,
+    window=2,
+    warm_concurrency=4,
+    coalesce_n=8,
+    quota_burst=2,
+    required_ratio=None,
+    benchmarks=("gravity",),
+)
+
+
+@dataclass(frozen=True)
+class CorpusItem:
+    name: str
+    source: str
+    params: dict[str, int]
+    strategy: str
+    index: int
+
+    @property
+    def key(self) -> str:
+        return job_key(BatchJob(
+            name="service", source=self.source, params=self.params,
+            strategy=self.strategy, options=None,
+        ))
+
+    def body(self, diagnostics: bool = False) -> dict[str, Any]:
+        req: dict[str, Any] = {
+            "source": self.source,
+            "params": self.params,
+            "strategy": self.strategy,
+            "id": self.index,
+        }
+        if diagnostics:
+            req["diagnostics"] = True
+        return req
+
+
+def build_corpus(profile: BenchProfile) -> list[CorpusItem]:
+    """benchmarks x strategies x n-perturbations, every key distinct."""
+    from ..evaluation.programs import BENCHMARKS
+
+    names = profile.benchmarks or tuple(sorted(BENCHMARKS))
+    corpus: list[CorpusItem] = []
+    for name in names:
+        source = BENCHMARKS[name]
+        base = QUICK_PARAMS.get(name, {})
+        for strategy in profile.strategies:
+            for n in profile.perturbations:
+                corpus.append(CorpusItem(
+                    name=name,
+                    source=source,
+                    params={**base, "n": n},
+                    strategy=strategy,
+                    index=len(corpus),
+                ))
+    return corpus
+
+
+# -- the pipelined client -----------------------------------------------------
+
+
+class Conn:
+    """One keep-alive connection; requests may be pipelined (send many,
+    then read the responses back in order)."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+        self._sent_at: list[float] = []  # FIFO: responses come in order
+
+    async def open(self) -> "Conn":
+        self.reader, self.writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    def send(
+        self,
+        obj: Any,
+        path: str = "/v1/compile",
+        method: str = "POST",
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        body = json.dumps(obj).encode() if obj is not None else b""
+        head = [f"{method} {path} HTTP/1.1", "Host: bench",
+                "Content-Type: application/json",
+                f"Content-Length: {len(body)}"]
+        head.extend(f"{k}: {v}" for k, v in (headers or {}).items())
+        assert self.writer is not None
+        self.writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+        self._sent_at.append(time.perf_counter())
+
+    async def read_response(self) -> tuple[int, dict[str, str], Any, float]:
+        """(status, headers, decoded body, latency_ms) for the oldest
+        outstanding request on this connection."""
+        assert self.reader is not None
+        head = await self.reader.readuntil(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ")[1])
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            name, sep, value = line.partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body = await self.reader.readexactly(length) if length else b""
+        latency_ms = (time.perf_counter() - self._sent_at.pop(0)) * 1000
+        return status, headers, json.loads(body) if body else None, latency_ms
+
+    async def request(
+        self,
+        obj: Any,
+        path: str = "/v1/compile",
+        method: str = "POST",
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, str], Any, float]:
+        self.send(obj, path=path, method=method, headers=headers)
+        assert self.writer is not None
+        await self.writer.drain()
+        return await self.read_response()
+
+    async def close(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+# -- correctness --------------------------------------------------------------
+
+
+class Verifier:
+    """Bitwise comparison of service responses against direct compiles."""
+
+    def __init__(self, direct: dict[int, dict[str, Any]]) -> None:
+        self.direct = direct
+        self.verified = 0
+        self.mismatches: list[dict[str, Any]] = []
+
+    def check(
+        self, phase: str, status: int, body: Any, diagnostics: bool = False
+    ) -> None:
+        rid = body.get("id") if isinstance(body, dict) else None
+        want = self.direct.get(rid)
+        if want is None:
+            self._flag(phase, rid, "response id maps to no corpus item")
+            return
+        self.verified += 1
+        if status != want["status"]:
+            self._flag(phase, rid, f"status {status} != {want['status']}")
+            return
+        got = canonical_bytes(body.get("result"))
+        if got != canonical_bytes(want["result"]):
+            self._flag(phase, rid, "result bytes differ from direct compile")
+            return
+        if diagnostics and canonical_bytes(
+            body.get("diagnostics")
+        ) != canonical_bytes(want["diagnostics"]):
+            self._flag(phase, rid, "diagnostics differ from direct compile")
+
+    def _flag(self, phase: str, rid: Any, why: str) -> None:
+        if len(self.mismatches) < 20:  # keep the payload bounded
+            self.mismatches.append({"phase": phase, "id": rid, "why": why})
+        else:
+            self.mismatches.append({"phase": phase, "id": rid,
+                                    "why": "(truncated)"})
+
+
+def _percentile(values: list[float], q: float) -> Optional[float]:
+    if not values:
+        return None
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return round(ordered[idx], 3)
+
+
+def _latency_summary(
+    latencies: list[float], wall_s: float
+) -> dict[str, Any]:
+    return {
+        "requests": len(latencies),
+        "p50_ms": _percentile(latencies, 0.50),
+        "p99_ms": _percentile(latencies, 0.99),
+        "mean_ms": round(sum(latencies) / len(latencies), 3)
+        if latencies else None,
+        "wall_s": round(wall_s, 4),
+        "throughput_rps": round(len(latencies) / wall_s, 1)
+        if wall_s > 0 and latencies else None,
+    }
+
+
+# -- the phases ---------------------------------------------------------------
+
+
+async def _burst_phase(
+    phase: str,
+    conns: list[Conn],
+    items: list[CorpusItem],
+    verifier: Verifier,
+    diagnostics: bool = False,
+) -> dict[str, Any]:
+    """Shard ``items`` over ``conns``; every connection sends its whole
+    shard pipelined before reading any response (a full-corpus burst)."""
+    shards: list[list[CorpusItem]] = [[] for _ in conns]
+    for i, item in enumerate(items):
+        shards[i % len(conns)].append(item)
+
+    async def one(conn: Conn, shard: list[CorpusItem]) -> list[float]:
+        for item in shard:
+            conn.send(item.body(diagnostics=diagnostics))
+        assert conn.writer is not None
+        await conn.writer.drain()
+        lat: list[float] = []
+        for _item in shard:
+            status, _hdrs, body, ms = await conn.read_response()
+            verifier.check(phase, status, body, diagnostics=diagnostics)
+            lat.append(ms)
+        return lat
+
+    t0 = time.perf_counter()
+    per_conn = await asyncio.gather(
+        *(one(c, s) for c, s in zip(conns, shards) if s)
+    )
+    wall = time.perf_counter() - t0
+    return _latency_summary([x for lat in per_conn for x in lat], wall)
+
+
+async def _serial_phase(
+    phase: str,
+    conns: list[Conn],
+    items: list[CorpusItem],
+    verifier: Verifier,
+) -> dict[str, Any]:
+    """Shard ``items`` over ``conns``; each connection runs its shard
+    one request at a time (steady-state concurrency = len(conns))."""
+    shards: list[list[CorpusItem]] = [[] for _ in conns]
+    for i, item in enumerate(items):
+        shards[i % len(conns)].append(item)
+
+    async def one(conn: Conn, shard: list[CorpusItem]) -> list[float]:
+        lat: list[float] = []
+        for item in shard:
+            status, _hdrs, body, ms = await conn.request(item.body())
+            verifier.check(phase, status, body)
+            lat.append(ms)
+        return lat
+
+    t0 = time.perf_counter()
+    per_conn = await asyncio.gather(
+        *(one(c, s) for c, s in zip(conns, shards) if s)
+    )
+    wall = time.perf_counter() - t0
+    return _latency_summary([x for lat in per_conn for x in lat], wall)
+
+
+async def _storm_phase(
+    conns: list[Conn],
+    corpus: list[CorpusItem],
+    profile: BenchProfile,
+    verifier: Verifier,
+) -> dict[str, Any]:
+    """Hold ``conns x window`` requests in flight at once.  Every
+    connection sends its entire initial window, then waits at a barrier
+    before reading — so the client-side in-flight count provably reaches
+    the target — then slides: read one, send one."""
+    window, rounds = profile.window, profile.storm_rounds
+    per_conn = window * rounds
+    barrier = asyncio.Barrier(len(conns))
+    gauge = {"inflight": 0, "high": 0}
+    dropped = 0
+    latencies: list[float] = []
+
+    def pick(conn_idx: int, req_idx: int) -> CorpusItem:
+        return corpus[(conn_idx * per_conn + req_idx) % len(corpus)]
+
+    async def one(conn_idx: int, conn: Conn) -> None:
+        nonlocal dropped
+        sent = 0
+        for _ in range(window):
+            conn.send(pick(conn_idx, sent).body())
+            sent += 1
+        gauge["inflight"] += window
+        gauge["high"] = max(gauge["high"], gauge["inflight"])
+        assert conn.writer is not None
+        await conn.writer.drain()
+        await barrier.wait()  # all windows are in flight right now
+        received = 0
+        try:
+            while received < per_conn:
+                status, _hdrs, body, ms = await conn.read_response()
+                gauge["inflight"] -= 1
+                received += 1
+                verifier.check("storm", status, body)
+                latencies.append(ms)
+                if sent < per_conn:
+                    conn.send(pick(conn_idx, sent).body())
+                    sent += 1
+                    gauge["inflight"] += 1
+                    gauge["high"] = max(gauge["high"], gauge["inflight"])
+                    await conn.writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            dropped += sent - received
+            gauge["inflight"] -= sent - received
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*(one(i, c) for i, c in enumerate(conns)))
+    wall = time.perf_counter() - t0
+    summary = _latency_summary(latencies, wall)
+    summary.update(
+        conns=len(conns),
+        window=window,
+        target_concurrency=len(conns) * window,
+        client_high_water=gauge["high"],
+        dropped=dropped,
+        ok=dropped == 0 and gauge["high"] >= len(conns) * window,
+    )
+    return summary
+
+
+async def _coalesce_phase(
+    conns: list[Conn],
+    stats_conn: Conn,
+    profile: BenchProfile,
+    verifier: Verifier,
+) -> dict[str, Any]:
+    """N identical concurrent requests for a never-seen program must
+    cost exactly one compilation."""
+    from ..evaluation.programs import BENCHMARKS
+
+    names = profile.benchmarks or tuple(sorted(BENCHMARKS))
+    name = names[0]
+    fresh = CorpusItem(
+        name=name,
+        source=BENCHMARKS[name],
+        # an n outside every perturbation list: never cached before
+        params={**QUICK_PARAMS.get(name, {}), "n": 97},
+        strategy=profile.strategies[-1],
+        index=-1,
+    )
+    verifier.direct[-1] = compile_payload(
+        fresh.source, fresh.params, fresh.strategy
+    )
+
+    _s, _h, before, _ms = await stats_conn.request(
+        None, path="/v1/stats", method="GET"
+    )
+    n = profile.coalesce_n
+    fan = conns[:max(1, min(len(conns), 8))]
+    shards: list[int] = [n // len(fan)] * len(fan)
+    shards[0] += n - sum(shards)
+
+    async def one(conn: Conn, count: int) -> None:
+        for _ in range(count):
+            conn.send(fresh.body())
+        assert conn.writer is not None
+        await conn.writer.drain()
+        for _ in range(count):
+            status, _hdrs, body, _ms = await conn.read_response()
+            verifier.check("coalesce", status, body)
+
+    await asyncio.gather(*(one(c, k) for c, k in zip(fan, shards) if k))
+    _s, _h, after, _ms = await stats_conn.request(
+        None, path="/v1/stats", method="GET"
+    )
+    compiled = after["service"]["compiled"] - before["service"]["compiled"]
+    coalesced = (
+        after["service"]["coalesced"] - before["service"]["coalesced"]
+    )
+    hits = after["cache"]["memory_hits"] - before["cache"]["memory_hits"]
+    return {
+        "requests": n,
+        "compiled": compiled,
+        "coalesced": coalesced,
+        "memory_hits": hits,
+        "ok": compiled == 1 and coalesced + hits == n - 1,
+    }
+
+
+async def _quota_phase(
+    conn: Conn, item: CorpusItem, profile: BenchProfile
+) -> dict[str, Any]:
+    """Burst the throttled tenant far past its bucket: expect clean 429s
+    with Retry-After, zero 5xx, and at least ``burst`` grants."""
+    total = 3 * profile.quota_burst
+    for _ in range(total):
+        conn.send({**item.body(), "tenant": NOISY_TENANT})
+    assert conn.writer is not None
+    await conn.writer.drain()
+    granted = rejected = other = 0
+    retry_after_ok = True
+    for _ in range(total):
+        status, headers, _body, _ms = await conn.read_response()
+        if status == 200:
+            granted += 1
+        elif status == 429:
+            rejected += 1
+            if "retry-after" not in headers or int(
+                headers["retry-after"]
+            ) < 1:
+                retry_after_ok = False
+        else:
+            other += 1
+    return {
+        "requests": total,
+        "granted": granted,
+        "rejected": rejected,
+        "other_statuses": other,
+        "retry_after_ok": retry_after_ok,
+        "ok": (granted >= 1 and rejected >= 1 and other == 0
+               and retry_after_ok),
+    }
+
+
+# -- the harness --------------------------------------------------------------
+
+
+def run_service_bench(
+    quick: bool = False, profile: BenchProfile | None = None
+) -> dict[str, Any]:
+    profile = profile or (QUICK if quick else FULL)
+    corpus = build_corpus(profile)
+
+    # The ground truth: one direct in-process compile per distinct
+    # program.  Also the "what a compile costs without the service"
+    # reference number.
+    direct: dict[int, dict[str, Any]] = {}
+    direct_ms: list[float] = []
+    t0 = time.perf_counter()
+    for item in corpus:
+        payload = compile_payload(item.source, item.params, item.strategy)
+        direct[item.index] = payload
+        direct_ms.append(payload["compile_ms"])
+    direct_wall = time.perf_counter() - t0
+    verifier = Verifier(direct)
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-servicebench-")
+    log_path = os.path.join(cache_dir, "access.ndjson")
+    try:
+        payload = asyncio.run(
+            _drive(profile, corpus, verifier, cache_dir, log_path)
+        )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    payload["environment"] = environment_metadata()
+    payload["direct_compile"] = {
+        "programs": len(corpus),
+        "p50_ms": _percentile(direct_ms, 0.50),
+        "mean_ms": round(sum(direct_ms) / len(direct_ms), 3)
+        if direct_ms else None,
+        "wall_s": round(direct_wall, 4),
+    }
+    payload["correctness"] = {
+        "verified": verifier.verified,
+        "mismatches": len(verifier.mismatches),
+        "examples": verifier.mismatches[:10],
+        "ok": not verifier.mismatches,
+    }
+
+    phases = payload["phases"]
+    ratio = None
+    cold_p50 = phases["cold"]["p50_ms"]
+    warm_p99 = phases["warm"]["p99_ms"]
+    if cold_p50 and warm_p99:
+        ratio = round(cold_p50 / warm_p99, 2)
+    payload["regression"] = {
+        "cold_p50_ms": cold_p50,
+        "warm_p99_ms": warm_p99,
+        "ratio": ratio,
+        "required_ratio": profile.required_ratio,
+        "ok": (profile.required_ratio is None
+               or (ratio is not None and ratio >= profile.required_ratio)),
+    }
+    server_errors = sum(
+        count
+        for status, count in payload["stats"]["service"]["by_status"].items()
+        if status.startswith("5")
+    )
+    payload["server_errors"] = server_errors
+    payload["ok"] = bool(
+        payload["correctness"]["ok"]
+        and phases["storm"]["ok"]
+        and phases["coalesce"]["ok"]
+        and phases["quota"]["ok"]
+        and phases["disk"]["ok"]
+        and payload["regression"]["ok"]
+        and payload["access_log"]["ok"]
+        and server_errors == 0
+    )
+    return payload
+
+
+async def _drive(
+    profile: BenchProfile,
+    corpus: list[CorpusItem],
+    verifier: Verifier,
+    cache_dir: str,
+    log_path: str,
+) -> dict[str, Any]:
+    cache = ScheduleCache(cache_dir=cache_dir)
+    quotas = QuotaRegistry(rate=None, tenants={
+        NOISY_TENANT: (profile.quota_rate, float(profile.quota_burst)),
+    })
+    service = CompileService(
+        cache=cache,
+        workers=profile.workers,
+        policy=RetryPolicy(timeout=profile.timeout_s),
+        quotas=quotas,
+        max_pending=max(1024, 2 * len(corpus)),
+    )
+    log_fh = open(log_path, "w")
+    server = CompileServer(service, port=0, access_log=log_fh)
+    await server.start()
+    host, port = "127.0.0.1", server.port
+
+    phases: dict[str, Any] = {}
+    conns = [
+        await Conn(host, port).open() for _ in range(profile.conns)
+    ]
+    stats_conn = await Conn(host, port).open()
+    try:
+        warm_conns = conns[:profile.warm_concurrency]
+        phases["cold"] = await _burst_phase(
+            "cold", warm_conns, corpus, verifier, diagnostics=True
+        )
+        phases["coalesce"] = await _coalesce_phase(
+            conns, stats_conn, profile, verifier
+        )
+        phases["warm"] = await _serial_phase(
+            "warm", warm_conns, corpus, verifier
+        )
+        phases["storm"] = await _storm_phase(
+            conns, corpus, profile, verifier
+        )
+        phases["quota"] = await _quota_phase(
+            stats_conn, corpus[0], profile
+        )
+        _s, _h, stats, _ms = await stats_conn.request(
+            None, path="/v1/stats", method="GET"
+        )
+    finally:
+        for conn in conns:
+            await conn.close()
+        await stats_conn.close()
+        await server.stop()
+        log_fh.close()
+
+    # Disk tier: a fresh process would see exactly this — empty memory,
+    # warm content-addressed directory.
+    cache2 = ScheduleCache(cache_dir=cache_dir)
+    service2 = CompileService(cache=cache2, workers=0)
+    server2 = CompileServer(service2, port=0)
+    await server2.start()
+    conns2 = [
+        await Conn(host, server2.port).open()
+        for _ in range(profile.warm_concurrency)
+    ]
+    try:
+        disk = await _serial_phase("disk", conns2, corpus, verifier)
+    finally:
+        for conn in conns2:
+            await conn.close()
+        await server2.stop()
+    disk.update(
+        disk_hits=cache2.stats.disk_hits,
+        memory_hits=cache2.stats.memory_hits,
+        misses=cache2.stats.misses,
+        ok=(cache2.stats.disk_hits == len(corpus)
+            and cache2.stats.misses == 0),
+    )
+    phases["disk"] = disk
+
+    lines = ok_lines = 0
+    with open(log_path) as fh:
+        for line in fh:
+            lines += 1
+            try:
+                json.loads(line)
+                ok_lines += 1
+            except ValueError:
+                pass
+    access_log = {
+        "lines": lines,
+        "parsed": ok_lines,
+        "requests_total": server.requests_total,
+        "ok": lines == ok_lines and lines == server.requests_total,
+    }
+
+    return {
+        "mode": profile.mode,
+        "corpus": {
+            "programs": len(set(i.name for i in corpus)),
+            "strategies": list(profile.strategies),
+            "perturbations": list(profile.perturbations),
+            "distinct": len(corpus),
+        },
+        "service": {
+            "workers": profile.workers,
+            "conns": profile.conns,
+            "window": profile.window,
+            "warm_concurrency": profile.warm_concurrency,
+        },
+        "phases": phases,
+        "stats": stats,
+        "access_log": access_log,
+    }
+
+
+def write_service_bench(
+    path: str = "BENCH_service.json",
+    quick: bool = False,
+    profile: BenchProfile | None = None,
+) -> dict[str, Any]:
+    payload = run_service_bench(quick=quick, profile=profile)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    append_history(
+        "service", service_headline(payload),
+        directory=os.path.dirname(os.path.abspath(path)),
+    )
+    return payload
+
+
+def format_service_bench(payload: dict[str, Any]) -> str:
+    phases = payload["phases"]
+    lines = [
+        f"{'phase':9s} {'requests':>8s} {'p50':>9s} {'p99':>9s} "
+        f"{'rps':>8s}"
+    ]
+    for name in ("cold", "warm", "storm", "disk"):
+        ph = phases[name]
+        lines.append(
+            f"{name:9s} {ph['requests']:8d} "
+            f"{ph['p50_ms'] or 0:7.1f}ms {ph['p99_ms'] or 0:7.1f}ms "
+            f"{ph['throughput_rps'] or 0:8.0f}"
+        )
+    storm = phases["storm"]
+    lines.append(
+        f"\nstorm: {storm['client_high_water']} concurrent "
+        f"(target {storm['target_concurrency']}), "
+        f"{storm['dropped']} dropped"
+    )
+    co = phases["coalesce"]
+    lines.append(
+        f"coalesce: {co['requests']} identical requests -> "
+        f"{co['compiled']} compile, {co['coalesced']} coalesced, "
+        f"{co['memory_hits']} cache hits"
+    )
+    q = phases["quota"]
+    lines.append(
+        f"quota: {q['granted']} granted, {q['rejected']} rejected "
+        f"(Retry-After {'ok' if q['retry_after_ok'] else 'MISSING'})"
+    )
+    disk = phases["disk"]
+    lines.append(
+        f"disk tier: {disk['disk_hits']}/{payload['corpus']['distinct']} "
+        f"hits, {disk['misses']} misses"
+    )
+    reg = payload["regression"]
+    if reg["ratio"] is not None:
+        need = reg["required_ratio"]
+        lines.append(
+            f"warm cache vs cold compile: {reg['ratio']:.1f}x "
+            f"(cold p50 {reg['cold_p50_ms']:.1f}ms / warm p99 "
+            f"{reg['warm_p99_ms']:.2f}ms"
+            + (f"; gate >= {need:.1f}x)" if need else ")")
+        )
+    corr = payload["correctness"]
+    lines.append(
+        f"correctness: {corr['verified']} responses verified bitwise, "
+        f"{corr['mismatches']} mismatches; "
+        f"{payload['server_errors']} server 5xx; access log "
+        f"{payload['access_log']['parsed']}/{payload['access_log']['lines']} "
+        f"NDJSON lines parsed"
+    )
+    lines.append("SERVICE BENCH OK" if payload["ok"]
+                 else "SERVICE BENCH FAILED: see payload")
+    return "\n".join(lines)

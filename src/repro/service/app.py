@@ -1,0 +1,462 @@
+"""The compile service core: cache, coalescing, pool, quotas.
+
+:class:`CompileService` is transport-agnostic — the HTTP/JSON-RPC front
+end in :mod:`repro.service.server` and the tests talk to
+:meth:`CompileService.handle_compile` directly.  One request flows:
+
+1. **quota** — the tenant's token bucket either grants or yields a
+   ``429`` with ``Retry-After``;
+2. **quarantine** — a key that repeatedly killed or timed out its
+   worker is answered ``503`` immediately, never recompiled;
+3. **cache** — the shared :class:`~repro.perf.cache.ScheduleCache`
+   (memory LRU, then content-addressed disk);
+4. **coalescing** — identical in-flight programs await one compilation
+   future instead of recompiling (N concurrent identical requests cost
+   exactly one compile);
+5. **pool** — the compile runs in a bounded
+   :class:`~concurrent.futures.ProcessPoolExecutor` under the batch
+   driver's :class:`~repro.perf.batch.RetryPolicy`: per-attempt
+   timeout, kill-and-rebuild of the poisoned pool, bounded retries with
+   exponential backoff, then quarantine.  ``workers=0`` compiles on the
+   event loop's thread executor instead (tests, tiny deployments) — no
+   crash isolation, and a timed-out thread cannot be killed.
+
+Backpressure: when more than ``max_pending`` *distinct* compilations
+are in flight the service sheds new cache-missing work with ``429`` —
+coalesced waiters and cache hits are always admitted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field, fields
+from typing import Any, Optional
+
+from ..core.context import CompilerOptions
+from ..core.pipeline import Strategy
+from ..perf.batch import BatchJob, RetryPolicy, job_key, kill_pool
+from ..perf.cache import ScheduleCache
+from .payload import compile_worker, options_fields, rebuild_options
+from .quota import QuotaRegistry
+
+DEFAULT_TENANT = "anon"
+
+#: Retry-After for quarantined keys and shed load (seconds).
+QUARANTINE_RETRY_AFTER = 60
+BACKPRESSURE_RETRY_AFTER = 1
+
+
+class RequestError(Exception):
+    """A malformed request: HTTP 400 with a one-line reason."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """One validated compile request (see :func:`parse_request`)."""
+
+    source: str
+    params: Optional[dict[str, int]] = None
+    strategy: str = "comb"
+    options: Optional[CompilerOptions] = None
+    tenant: str = DEFAULT_TENANT
+    want_diagnostics: bool = False
+    want_trace: bool = False
+    id: Any = None
+
+    def key(self) -> str:
+        return job_key(BatchJob(
+            name="service", source=self.source, params=self.params,
+            strategy=self.strategy, options=self.options,
+        ))
+
+
+_OPTION_FIELDS = {f.name: f for f in fields(CompilerOptions)}
+_DEFAULTS = CompilerOptions()
+
+
+def _parse_options(obj: Any) -> CompilerOptions:
+    if not isinstance(obj, dict):
+        raise RequestError("'options' must be an object")
+    coerced: dict[str, Any] = {}
+    for name, value in obj.items():
+        f = _OPTION_FIELDS.get(name)
+        if f is None:
+            known = ", ".join(sorted(_OPTION_FIELDS))
+            raise RequestError(f"unknown option {name!r} (known: {known})")
+        default = getattr(_DEFAULTS, name)
+        if isinstance(default, bool):
+            if not isinstance(value, bool):
+                raise RequestError(f"option {name!r} must be a boolean")
+        elif isinstance(default, int):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise RequestError(f"option {name!r} must be an integer")
+        elif isinstance(default, float):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise RequestError(f"option {name!r} must be a number")
+        elif isinstance(default, str):
+            if not isinstance(value, str):
+                raise RequestError(f"option {name!r} must be a string")
+        elif isinstance(default, tuple) or default is None:
+            if value is not None:
+                if not isinstance(value, list) or not all(
+                    isinstance(v, str) for v in value
+                ):
+                    raise RequestError(
+                        f"option {name!r} must be a list of strings or null"
+                    )
+                value = tuple(value)
+        coerced[name] = value
+    return CompilerOptions(**coerced)
+
+
+def parse_request(obj: Any) -> CompileRequest:
+    """Validate a decoded JSON body into a :class:`CompileRequest`."""
+    if not isinstance(obj, dict):
+        raise RequestError("request body must be a JSON object")
+    source = obj.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise RequestError("'source' (mini-HPF program text) is required")
+    params = obj.get("params")
+    if params is not None:
+        if not isinstance(params, dict) or not all(
+            isinstance(k, str) and isinstance(v, int)
+            and not isinstance(v, bool)
+            for k, v in params.items()
+        ):
+            raise RequestError("'params' must map names to integers")
+    strategy = obj.get("strategy", "comb")
+    try:
+        strategy = Strategy.parse(strategy).value
+    except (ValueError, AttributeError, TypeError):
+        raise RequestError(f"unknown strategy {strategy!r}") from None
+    options = None
+    if obj.get("options") is not None:
+        options = _parse_options(obj["options"])
+    tenant = obj.get("tenant", DEFAULT_TENANT)
+    if not isinstance(tenant, str) or not tenant:
+        raise RequestError("'tenant' must be a non-empty string")
+    for flag in ("diagnostics", "trace"):
+        if not isinstance(obj.get(flag, False), bool):
+            raise RequestError(f"'{flag}' must be a boolean")
+    return CompileRequest(
+        source=source,
+        params=params,
+        strategy=strategy,
+        options=options,
+        tenant=tenant,
+        want_diagnostics=obj.get("diagnostics", False),
+        want_trace=obj.get("trace", False),
+        id=obj.get("id"),
+    )
+
+
+@dataclass
+class ServiceResponse:
+    """Transport-ready verdict: status + JSON body + extra headers."""
+
+    status: int
+    body: dict[str, Any]
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ServiceStats:
+    requests: int = 0
+    compiled: int = 0
+    coalesced: int = 0
+    quota_rejected: int = 0
+    backpressure_rejected: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    quarantined: int = 0
+    pool_rebuilds: int = 0
+    by_status: dict[int, int] = field(default_factory=dict)
+    pending_high_water: int = 0
+
+    def count(self, status: int) -> None:
+        self.by_status[status] = self.by_status.get(status, 0) + 1
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "compiled": self.compiled,
+            "coalesced": self.coalesced,
+            "quota_rejected": self.quota_rejected,
+            "backpressure_rejected": self.backpressure_rejected,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "quarantined": self.quarantined,
+            "pool_rebuilds": self.pool_rebuilds,
+            "by_status": {str(k): v for k, v in self.by_status.items()},
+            "pending_high_water": self.pending_high_water,
+        }
+
+
+class CompileService:
+    """See the module docstring for the request flow."""
+
+    def __init__(
+        self,
+        cache: ScheduleCache | None = None,
+        workers: int = 2,
+        policy: RetryPolicy | None = None,
+        quotas: QuotaRegistry | None = None,
+        max_pending: int = 1024,
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        # `cache or ...` would discard an *empty* cache: ScheduleCache
+        # defines __len__, so a fresh one is falsy.
+        self.cache = cache if cache is not None else ScheduleCache()
+        self.workers = workers
+        self.policy = policy or RetryPolicy(timeout=120.0)
+        self.quotas = quotas
+        self.max_pending = max_pending
+        self.stats = ServiceStats()
+        self.quarantined: set[str] = set()
+        self._pool: ProcessPoolExecutor | None = None
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._started = time.monotonic()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self, prewarm: bool = True) -> None:
+        """Create (and optionally pre-fork) the worker pool."""
+        if self.workers > 0 and self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            if prewarm:
+                loop = asyncio.get_running_loop()
+                await loop.run_in_executor(self._pool, int, 0)
+
+    async def close(self) -> None:
+        for fut in list(self._inflight.values()):
+            if not fut.done():
+                fut.cancel()
+        self._inflight.clear()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def _rebuild_pool(self) -> None:
+        self.stats.pool_rebuilds += 1
+        if self._pool is not None:
+            kill_pool(self._pool)
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+
+    # -- the request path -----------------------------------------------------
+
+    async def handle_compile(self, req: CompileRequest) -> ServiceResponse:
+        self.stats.requests += 1
+        if self.quotas is not None:
+            wait = self.quotas.acquire(req.tenant)
+            if wait > 0.0:
+                self.stats.quota_rejected += 1
+                return self._finish(req, {
+                    "ok": False,
+                    "status": 429,
+                    "result": None,
+                    "diagnostics": [],
+                    "trace": [],
+                    "error": {
+                        "code": "quota_exceeded",
+                        "message": (
+                            f"tenant {req.tenant!r} is over its compile "
+                            f"quota; retry in {wait:.3f}s"
+                        ),
+                    },
+                }, retry_after=wait)
+
+        key = req.key()
+        if key in self.quarantined:
+            return self._finish(req, self._quarantined_payload(key), key=key,
+                                retry_after=QUARANTINE_RETRY_AFTER)
+
+        payload, tier = self.cache.lookup(key)
+        if payload is not None:
+            return self._finish(req, payload, key=key, cache=tier)
+
+        fut = self._inflight.get(key)
+        if fut is not None:
+            self.stats.coalesced += 1
+            payload = await asyncio.shield(fut)
+            return self._finish(req, payload, key=key, coalesced=True)
+
+        if len(self._inflight) >= self.max_pending:
+            self.stats.backpressure_rejected += 1
+            return self._finish(req, {
+                "ok": False,
+                "status": 429,
+                "result": None,
+                "diagnostics": [],
+                "trace": [],
+                "error": {
+                    "code": "backpressure",
+                    "message": (
+                        f"{len(self._inflight)} compilations already in "
+                        f"flight; retry shortly"
+                    ),
+                },
+            }, retry_after=BACKPRESSURE_RETRY_AFTER)
+
+        loop = asyncio.get_running_loop()
+        fut = loop.create_future()
+        self._inflight[key] = fut
+        self.stats.pending_high_water = max(
+            self.stats.pending_high_water, len(self._inflight)
+        )
+        # The compile runs as its own task so a dropped client
+        # connection (cancelled handler) never cancels work that
+        # coalesced waiters are counting on.
+        asyncio.ensure_future(self._compile_and_publish(req, key, fut))
+        payload = await asyncio.shield(fut)
+        return self._finish(req, payload, key=key)
+
+    async def _compile_and_publish(
+        self, req: CompileRequest, key: str, fut: asyncio.Future
+    ) -> None:
+        try:
+            payload = await self._compile_with_policy(req, key)
+        except Exception as exc:  # noqa: BLE001 - the 5xx of last resort
+            payload = {
+                "ok": False,
+                "status": 500,
+                "result": None,
+                "diagnostics": [],
+                "trace": [],
+                "error": {
+                    "code": "internal",
+                    "message": f"{type(exc).__name__}: {exc}",
+                },
+            }
+        finally:
+            self._inflight.pop(key, None)
+        if payload["ok"]:
+            self.stats.compiled += 1
+            self.cache.put(key, payload, durable=True)
+        elif payload["status"] == 422:
+            # Diagnosable program errors are deterministic: cache them
+            # in memory so a retry storm of a broken program stays
+            # cheap, but never persist them.
+            self.cache.put(key, payload, durable=False)
+        if not fut.done():
+            fut.set_result(payload)
+
+    async def _invoke_worker(self, req: CompileRequest) -> dict[str, Any]:
+        """One pooled compile attempt (patchable in tests)."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._pool,
+            compile_worker,
+            req.source,
+            req.params,
+            req.strategy,
+            options_fields(req.options),
+        )
+
+    async def _compile_with_policy(
+        self, req: CompileRequest, key: str
+    ) -> dict[str, Any]:
+        """The batch driver's timeout/retry/quarantine ladder, async."""
+        policy = self.policy
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                return await asyncio.wait_for(
+                    self._invoke_worker(req), timeout=policy.timeout
+                )
+            except (asyncio.TimeoutError, TimeoutError):
+                self.stats.timeouts += 1
+                why = f"timed out after {policy.timeout}s"
+                self._rebuild_pool()  # the stuck worker still holds it
+            except (BrokenExecutor, RuntimeError, OSError) as exc:
+                why = f"worker crashed ({type(exc).__name__})"
+                self._rebuild_pool()
+            out_of_retries = attempts > policy.max_retries
+            if attempts >= policy.quarantine_after or out_of_retries:
+                self.quarantined.add(key)
+                self.stats.quarantined += 1
+                payload = self._quarantined_payload(key)
+                payload["error"]["message"] = (
+                    f"quarantined after {attempts} failed attempts: {why}"
+                )
+                return payload
+            self.stats.retries += 1
+            await asyncio.sleep(policy.backoff * (2 ** max(0, attempts - 1)))
+
+    def _quarantined_payload(self, key: str) -> dict[str, Any]:
+        return {
+            "ok": False,
+            "status": 503,
+            "result": None,
+            "diagnostics": [],
+            "trace": [],
+            "error": {
+                "code": "quarantined",
+                "message": f"program {key[:12]}… is quarantined",
+            },
+        }
+
+    # -- response assembly ----------------------------------------------------
+
+    def _finish(
+        self,
+        req: CompileRequest,
+        payload: dict[str, Any],
+        key: str | None = None,
+        cache: str | None = None,
+        coalesced: bool = False,
+        retry_after: float | None = None,
+    ) -> ServiceResponse:
+        body: dict[str, Any] = {
+            "ok": payload["ok"],
+            "status": payload["status"],
+            "key": key,
+            "cache": cache,
+            "coalesced": coalesced,
+            "compile_ms": payload.get("compile_ms"),
+            "result": payload.get("result"),
+        }
+        if req.id is not None:
+            body["id"] = req.id
+        if req.want_diagnostics or not payload["ok"]:
+            body["diagnostics"] = payload.get("diagnostics", [])
+        if req.want_trace:
+            body["trace"] = payload.get("trace", [])
+        if "error" in payload:
+            body["error"] = payload["error"]
+        headers: dict[str, str] = {}
+        if retry_after is not None:
+            headers["Retry-After"] = str(max(1, int(retry_after + 0.999)))
+        self.stats.count(payload["status"])
+        return ServiceResponse(payload["status"], body, headers)
+
+    def stats_payload(self) -> dict[str, Any]:
+        return {
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "workers": self.workers,
+            "max_pending": self.max_pending,
+            "inflight": len(self._inflight),
+            "quarantined_keys": sorted(self.quarantined),
+            "service": self.stats.as_dict(),
+            "cache": self.cache.stats.as_dict(),
+            "cache_memory_bytes": self.cache.memory_bytes,
+            "cache_entries": len(self.cache),
+        }
+
+
+__all__ = [
+    "CompileRequest",
+    "CompileService",
+    "RequestError",
+    "ServiceResponse",
+    "ServiceStats",
+    "parse_request",
+    "rebuild_options",
+]

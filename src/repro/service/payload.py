@@ -1,0 +1,119 @@
+"""Deterministic compile payloads.
+
+The service's unit of caching and of correctness: everything under
+``payload["result"]`` (and ``payload["diagnostics"]``) is a pure
+function of the request's (source, params, strategy, options) — no wall
+times, no pids — so the load harness can verify any response, served
+from any tier or coalesced onto any in-flight future, **bitwise** against
+a direct :func:`repro.core.pipeline.compile_program` call.  Wall-clock
+measurements ride outside, in ``compile_ms`` and ``trace`` (the per-pass
+:class:`~repro.core.passes.PassTrace` records include ``wall_s``).
+
+:func:`compile_worker` is the process-pool entry point: it takes only
+picklable primitives and returns only JSON types, so a poison program
+can at worst kill its worker process, never the server.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import fields
+from typing import Any, Optional
+
+from ..core.context import CompilerOptions
+from ..core.pipeline import CompilationResult, Strategy, compile_program
+from ..errors import InternalCompilerError, ReproError
+
+
+def schedule_payload(result: CompilationResult) -> dict[str, Any]:
+    """The canonical, deterministic schedule summary of one compile."""
+    return {
+        "strategy": result.strategy.value,
+        "call_sites": result.call_sites(),
+        "call_sites_by_kind": result.call_sites_by_kind(),
+        "entries": len(result.entries),
+        "eliminated": sorted(e.label for e in result.eliminated_entries()),
+        "schedule": [
+            [str(pc.position), pc.kind, sorted(e.label for e in pc.entries)]
+            for pc in result.placed
+        ],
+        "degraded": result.degraded,
+    }
+
+
+def options_fields(options: Optional[CompilerOptions]) -> dict[str, Any]:
+    """CompilerOptions as a picklable/JSON-able field dict (tuples to
+    lists); None stays None (worker rebuilds the defaults)."""
+    if options is None:
+        return {}
+    out: dict[str, Any] = {}
+    for f in fields(CompilerOptions):
+        value = getattr(options, f.name)
+        out[f.name] = list(value) if isinstance(value, tuple) else value
+    return out
+
+
+def rebuild_options(field_dict: dict[str, Any]) -> Optional[CompilerOptions]:
+    if not field_dict:
+        return None
+    coerced = {
+        name: tuple(value) if isinstance(value, list) else value
+        for name, value in field_dict.items()
+    }
+    return CompilerOptions(**coerced)
+
+
+def compile_payload(
+    source: str,
+    params: Optional[dict[str, int]],
+    strategy: "str | Strategy",
+    options: Optional[CompilerOptions] = None,
+) -> dict[str, Any]:
+    """Compile once and reduce to a JSON payload; never raises for
+    program-level failures.
+
+    ``status`` carries the HTTP verdict: 200 for a schedule, 422 for a
+    diagnosable program error, 500 for an internal compiler error (the
+    crash-free frontier's structured wrapper).
+    """
+    t0 = time.perf_counter()
+    try:
+        result = compile_program(source, params, strategy, options)
+    except InternalCompilerError as exc:
+        return {
+            "ok": False,
+            "status": 500,
+            "result": None,
+            "diagnostics": [exc.diagnostic().to_dict()],
+            "trace": [],
+            "compile_ms": round((time.perf_counter() - t0) * 1000, 3),
+        }
+    except ReproError as exc:
+        return {
+            "ok": False,
+            "status": 422,
+            "result": None,
+            "diagnostics": [exc.diagnostic().to_dict()],
+            "trace": [],
+            "compile_ms": round((time.perf_counter() - t0) * 1000, 3),
+        }
+    return {
+        "ok": True,
+        "status": 200,
+        "result": schedule_payload(result),
+        "diagnostics": [d.diagnostic().to_dict() for d in result.degradations],
+        "trace": [t.to_dict() for t in result.pass_traces],
+        "compile_ms": round((time.perf_counter() - t0) * 1000, 3),
+    }
+
+
+def compile_worker(
+    source: str,
+    params: Optional[dict[str, int]],
+    strategy: str,
+    option_fields: dict[str, Any],
+) -> dict[str, Any]:
+    """Process-pool entry: primitives in, JSON out."""
+    return compile_payload(
+        source, params, strategy, rebuild_options(option_fields)
+    )

@@ -1,0 +1,91 @@
+"""Per-tenant token-bucket quotas.
+
+One :class:`TokenBucket` per tenant, refilled continuously at ``rate``
+tokens/second up to ``burst``.  ``acquire`` is non-blocking: it either
+grants (returns 0.0) or returns the seconds until the next token — the
+server turns that into ``429 Too Many Requests`` with a ``Retry-After``
+header, so one client can saturate at most its own bucket, never the
+compile pool.
+
+The clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+
+class TokenBucket:
+    """A standard token bucket; thread-safe, monotonic-clock based."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def acquire(self, n: float = 1.0) -> float:
+        """Take ``n`` tokens: 0.0 when granted, else seconds until the
+        deficit refills (the request is NOT queued)."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+            if self._tokens >= n:
+                self._tokens -= n
+                return 0.0
+            return (n - self._tokens) / self.rate
+
+
+class QuotaRegistry:
+    """Buckets by tenant name.
+
+    ``rate``/``burst`` are the default per-tenant quota (``rate=None``
+    means unlimited — every tenant is granted unless it has an explicit
+    override in ``tenants``).  Buckets are created lazily on first use,
+    one per tenant, so tenants never share tokens.
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float] = None,
+        burst: float = 1.0,
+        tenants: "dict[str, tuple[float, float]] | None" = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst
+        self._overrides = dict(tenants or {})
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def acquire(self, tenant: str) -> float:
+        """0.0 when granted; else the tenant's Retry-After seconds."""
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                if tenant in self._overrides:
+                    rate, burst = self._overrides[tenant]
+                elif self.rate is not None:
+                    rate, burst = self.rate, self.burst
+                else:
+                    return 0.0  # unlimited tenant: no bucket at all
+                bucket = TokenBucket(rate, burst, clock=self._clock)
+                self._buckets[tenant] = bucket
+        return bucket.acquire()

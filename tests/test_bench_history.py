@@ -13,6 +13,7 @@ from repro.perf.history import (
     chaos_headline,
     compile_headline,
     kernel_headline,
+    service_headline,
     spmd_headline,
     transport_headline,
 )
@@ -120,6 +121,36 @@ class TestHistory:
             "threaded": 1.2, "multiprocess": 3.4,
         }
 
+    def test_service_headline(self):
+        payload = {
+            "mode": "quick", "ok": True,
+            "corpus": {"distinct": 72},
+            "phases": {
+                "cold": {"p50_ms": 699.7},
+                "warm": {"p99_ms": 4.1, "throughput_rps": 4075.0},
+                "storm": {"client_high_water": 160, "dropped": 0},
+                "coalesce": {"coalesced": 31},
+                "disk": {"disk_hits": 72},
+            },
+            "regression": {"ratio": 169.7},
+            "correctness": {"verified": 568, "mismatches": 0},
+            "stats": {"cache": {"hit_rate": 0.71}},
+            "server_errors": 0,
+        }
+        h = service_headline(payload)
+        assert h["ok"] is True
+        assert h["distinct_programs"] == 72
+        assert h["storm_high_water"] == 160
+        assert h["storm_dropped"] == 0
+        assert h["warm_p99_ms"] == 4.1
+        assert h["speedup_ratio"] == 169.7
+        assert h["coalesced"] == 31
+        assert h["disk_hits"] == 72
+        assert h["cache_hit_rate"] == 0.71
+        assert h["mismatches"] == 0
+        assert h["server_errors"] == 0
+        json.dumps(h)  # one JSONL-able line
+
     def test_headlines_are_backfill_safe(self):
         # Payloads written before grid stamping carry no params: the
         # new P/grid fields must come out None, never raise.
@@ -140,6 +171,12 @@ class TestHistory:
         assert h["survival_rate"] is None
         assert h["rank_restarts"] is None
         assert h["integrity_overhead_pct"] == {}
+        # Service payloads predating a phase degrade to None fields.
+        h = service_headline({"mode": "quick", "ok": False})
+        assert h["storm_high_water"] is None
+        assert h["warm_p99_ms"] is None
+        assert h["speedup_ratio"] is None
+        assert h["cache_hit_rate"] is None
 
     def test_kernel_headline_one_record_per_grid(self):
         cell = {

@@ -234,3 +234,58 @@ class TestOtherCommands:
         assert main(["profile"]) == 0
         out = capsys.readouterr().out
         assert "SP2" in out and "NOW" in out and "knee" in out
+
+
+class TestBatchNdjson:
+    def test_every_line_parses_independently(self, program_file, capsys):
+        import json
+
+        assert main(["batch", program_file, "--ndjson"]) == 0
+        lines = [
+            ln for ln in capsys.readouterr().out.splitlines() if ln
+        ]
+        records = [json.loads(ln) for ln in lines]  # one object per line
+        assert [r["kind"] for r in records] == ["result", "summary"]
+        result, summary = records
+        assert result["name"] == program_file
+        assert result["ok"] is True and not result["error"]
+        assert summary["jobs"] == 1 and summary["errors"] == 0
+        assert "cache" in summary
+
+    def test_ndjson_streams_cache_hits_and_suppresses_human_report(
+        self, program_file, capsys
+    ):
+        import json
+
+        assert main([
+            "batch", program_file, "--ndjson", "--repeat", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "round" not in out  # pure NDJSON, no human report
+        records = [json.loads(ln) for ln in out.splitlines() if ln]
+        results = [r for r in records if r["kind"] == "result"]
+        assert len(results) == 2
+        assert results[0]["from_cache"] is False
+        assert results[1]["from_cache"] is True
+
+    def test_cache_dir_reuses_across_invocations(
+        self, program_file, tmp_path, capsys
+    ):
+        import json
+
+        cache_dir = str(tmp_path / "cache")
+        assert main([
+            "batch", program_file, "--ndjson", "--cache-dir", cache_dir,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "batch", program_file, "--ndjson", "--cache-dir", cache_dir,
+        ]) == 0
+        records = [
+            json.loads(ln)
+            for ln in capsys.readouterr().out.splitlines() if ln
+        ]
+        (result,) = [r for r in records if r["kind"] == "result"]
+        (summary,) = [r for r in records if r["kind"] == "summary"]
+        assert result["from_cache"] is True
+        assert summary["cache"]["disk_hits"] == 1

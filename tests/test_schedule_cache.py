@@ -1,0 +1,236 @@
+"""The two-tier schedule cache: LRU byte budget, disk write-through,
+corruption quarantine, and a concurrent property test.
+
+The property test is the satellite the issue asks for: random
+interleavings of gets/puts across threads, random evictions (tiny byte
+budgets), and corrupted or truncated disk entries must never return a
+value under the wrong key and never raise — a corrupt entry is a miss,
+and the next durable put rewrites it clean.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf.cache import ScheduleCache, canonical_bytes
+
+
+def value_for(key: str, salt: int = 0) -> dict:
+    """A recognizable value: carries its own key so any cross-key mixup
+    is detectable."""
+    return {"for_key": key, "salt": salt, "payload": [salt] * 3}
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self):
+        cache = ScheduleCache()
+        assert cache.lookup("k") == (None, None)
+        cache.put("k", value_for("k"))
+        value, tier = cache.lookup("k")
+        assert value == value_for("k")
+        assert tier == "memory"
+        assert cache.stats.misses == 1
+        assert cache.stats.memory_hits == 1
+
+    def test_byte_budget_evicts_lru(self):
+        small = len(canonical_bytes(value_for("k0")))
+        cache = ScheduleCache(memory_budget_bytes=3 * small)
+        for i in range(4):
+            cache.put(f"k{i}", value_for(f"k{i}"))
+        assert cache.stats.evictions >= 1
+        assert cache.memory_bytes <= 3 * small
+        # the most recent entry always survives
+        assert cache.get("k3") == value_for("k3")
+
+    def test_lru_order_respects_gets(self):
+        small = len(canonical_bytes(value_for("k0")))
+        cache = ScheduleCache(memory_budget_bytes=2 * small)
+        cache.put("a", value_for("a"))
+        cache.put("b", value_for("b"))
+        cache.get("a")  # refresh a: b is now the LRU
+        cache.put("c", value_for("c"))
+        assert cache.get("a") == value_for("a")
+        assert cache.get("b") is None
+
+    def test_oversized_value_never_admitted(self):
+        cache = ScheduleCache(memory_budget_bytes=8)
+        cache.put("big", value_for("big"))
+        assert len(cache) == 0
+        assert cache.memory_bytes == 0
+
+    def test_zero_budget_with_disk_is_disk_only(self, tmp_path):
+        cache = ScheduleCache(memory_budget_bytes=0, cache_dir=tmp_path)
+        cache.put("k", value_for("k"))
+        # not admitted to memory, but the write-through still lands
+        fresh = ScheduleCache(cache_dir=tmp_path)
+        value, tier = fresh.lookup("k")
+        assert value == value_for("k")
+        assert tier == "disk"
+
+    def test_unbounded_budget_never_evicts(self):
+        cache = ScheduleCache(memory_budget_bytes=None)
+        for i in range(200):
+            cache.put(f"k{i}", value_for(f"k{i}"))
+        assert len(cache) == 200
+        assert cache.stats.evictions == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduleCache(memory_budget_bytes=-1)
+
+
+class TestDiskTier:
+    def test_write_through_and_promotion(self, tmp_path):
+        cache = ScheduleCache(cache_dir=tmp_path)
+        cache.put("abcd", value_for("abcd"))
+        fresh = ScheduleCache(cache_dir=tmp_path)
+        value, tier = fresh.lookup("abcd")
+        assert (value, tier) == (value_for("abcd"), "disk")
+        # promoted: the second lookup is a memory hit
+        assert fresh.lookup("abcd")[1] == "memory"
+
+    def test_sharded_layout(self, tmp_path):
+        cache = ScheduleCache(cache_dir=tmp_path)
+        cache.put("abcd", value_for("abcd"))
+        assert (tmp_path / "ab" / "abcd.json").exists()
+
+    def test_non_durable_put_skips_disk(self, tmp_path):
+        cache = ScheduleCache(cache_dir=tmp_path)
+        cache.put("k", value_for("k"), durable=False)
+        assert ScheduleCache(cache_dir=tmp_path).get("k") is None
+
+    def test_truncated_entry_is_miss_and_unlinked(self, tmp_path):
+        cache = ScheduleCache(cache_dir=tmp_path)
+        cache.put("abcd", value_for("abcd"))
+        path = tmp_path / "ab" / "abcd.json"
+        path.write_bytes(path.read_bytes()[:10])
+        fresh = ScheduleCache(cache_dir=tmp_path)
+        assert fresh.lookup("abcd") == (None, None)
+        assert fresh.stats.corrupt == 1
+        assert not path.exists()
+        # the next durable put rewrites a clean entry
+        fresh.put("abcd", value_for("abcd", salt=2))
+        assert ScheduleCache(cache_dir=tmp_path).get("abcd") == value_for(
+            "abcd", salt=2
+        )
+
+    def test_checksum_mismatch_is_miss(self, tmp_path):
+        cache = ScheduleCache(cache_dir=tmp_path)
+        cache.put("abcd", value_for("abcd"))
+        path = tmp_path / "ab" / "abcd.json"
+        envelope = json.loads(path.read_text())
+        envelope["value"]["salt"] = 999  # flip a bit, keep valid JSON
+        path.write_text(json.dumps(envelope))
+        fresh = ScheduleCache(cache_dir=tmp_path)
+        assert fresh.lookup("abcd") == (None, None)
+        assert fresh.stats.corrupt == 1
+
+    def test_wrong_key_envelope_is_miss(self, tmp_path):
+        cache = ScheduleCache(cache_dir=tmp_path)
+        cache.put("abcd", value_for("abcd"))
+        cache.put("efgh", value_for("efgh"))
+        # graft efgh's (self-consistent) envelope under abcd's path: the
+        # embedded key must catch the rename
+        src = tmp_path / "ef" / "efgh.json"
+        dst = tmp_path / "ab" / "abcd.json"
+        dst.write_text(src.read_text())
+        fresh = ScheduleCache(cache_dir=tmp_path)
+        assert fresh.lookup("abcd") == (None, None)
+        assert fresh.stats.corrupt == 1
+
+    def test_invalidate_drops_both_tiers(self, tmp_path):
+        cache = ScheduleCache(cache_dir=tmp_path)
+        cache.put("abcd", value_for("abcd"))
+        cache.invalidate("abcd")
+        assert cache.get("abcd") is None
+        assert not (tmp_path / "ab" / "abcd.json").exists()
+
+
+KEYS = [f"{a}{b}cafe" for a in "abcd" for b in "0123"]
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.sampled_from(KEYS),
+                  st.integers(0, 5)),
+        st.tuples(st.just("get"), st.sampled_from(KEYS), st.just(0)),
+        st.tuples(st.just("corrupt"), st.sampled_from(KEYS),
+                  st.integers(0, 2)),
+    ),
+    min_size=1, max_size=40,
+)
+
+
+@given(per_thread=st.lists(OPS, min_size=1, max_size=4),
+       budget=st.sampled_from([None, 0, 64, 150, 10_000]))
+@settings(max_examples=25, deadline=None)
+def test_property_concurrent_ops_never_wrong_never_crash(
+    per_thread, budget
+):
+    """Concurrent gets/puts/corruptions under random tiny budgets: every
+    observed value belongs to the key it was asked for, and nothing
+    raises.  The tempdir is created inside the test (a fixture would
+    trip hypothesis's health check on differing executions)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ScheduleCache(memory_budget_bytes=budget, cache_dir=tmp)
+        errors: list[BaseException] = []
+
+        def corrupt(key: str, mode: int) -> None:
+            path = os.path.join(tmp, key[:2], f"{key}.json")
+            try:
+                if mode == 0:
+                    with open(path, "r+b") as fh:
+                        fh.truncate(7)
+                elif mode == 1:
+                    with open(path, "w") as fh:
+                        fh.write("{not json")
+                else:
+                    with open(path) as fh:
+                        env = json.load(fh)
+                    env["value"] = {"for_key": "WRONG", "salt": -1,
+                                    "payload": []}
+                    with open(path, "w") as fh:
+                        json.dump(env, fh)
+            except (OSError, ValueError):
+                pass  # racing an unlink/rewrite is part of the test
+
+        def worker(ops) -> None:
+            try:
+                for op, key, arg in ops:
+                    if op == "put":
+                        cache.put(key, value_for(key, arg))
+                    elif op == "get":
+                        value = cache.get(key)
+                        if value is not None:
+                            assert value["for_key"] == key
+                    else:
+                        corrupt(key, arg)
+            except BaseException as exc:  # noqa: BLE001 - report below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(ops,))
+            for ops in per_thread
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+
+        # post-quiescence: every surviving entry still maps to its key,
+        # in memory and on disk
+        for key in KEYS:
+            value = cache.get(key)
+            if value is not None:
+                assert value["for_key"] == key
+            fresh = ScheduleCache(cache_dir=tmp)
+            value = fresh.get(key)
+            if value is not None:
+                assert value["for_key"] == key

@@ -1,0 +1,74 @@
+"""The service load harness, on its unit-test profile: two distinct
+programs, thread-pool compiles, every gate exercised end to end."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.perf.history import service_headline
+from repro.perf.servicebench import (
+    TINY,
+    build_corpus,
+    format_service_bench,
+    run_service_bench,
+    write_service_bench,
+)
+
+
+def test_tiny_profile_end_to_end():
+    payload = run_service_bench(profile=TINY)
+    assert payload["ok"], payload
+    assert payload["correctness"]["mismatches"] == 0
+    assert payload["correctness"]["verified"] > 0
+    assert payload["server_errors"] == 0
+
+    phases = payload["phases"]
+    assert phases["coalesce"]["compiled"] == 1
+    assert (phases["coalesce"]["coalesced"]
+            + phases["coalesce"]["memory_hits"]
+            == phases["coalesce"]["requests"] - 1)
+    assert phases["storm"]["dropped"] == 0
+    assert (phases["storm"]["client_high_water"]
+            >= TINY.conns * TINY.window)
+    assert phases["disk"]["disk_hits"] == payload["corpus"]["distinct"]
+    assert phases["disk"]["misses"] == 0
+    assert phases["quota"]["rejected"] >= 1
+    assert phases["quota"]["other_statuses"] == 0
+    assert payload["access_log"]["ok"]
+    # tiny profile skips the latency gate (timings too small to trust)
+    assert payload["regression"]["required_ratio"] is None
+    assert payload["regression"]["ok"]
+
+    text = format_service_bench(payload)
+    assert "SERVICE BENCH OK" in text
+    assert "coalesce" in text
+
+    headline = service_headline(payload)
+    assert headline["ok"] is True
+    assert headline["mismatches"] == 0
+    json.dumps(headline)  # must be one JSONL-able line
+
+
+def test_write_service_bench_payload_and_history(tmp_path):
+    out = tmp_path / "BENCH_service.json"
+    payload = write_service_bench(path=str(out), profile=TINY)
+    assert payload["ok"]
+    on_disk = json.loads(out.read_text())
+    assert on_disk["corpus"]["distinct"] == payload["corpus"]["distinct"]
+    history = (tmp_path / "BENCH_history.jsonl").read_text().splitlines()
+    record = json.loads(history[-1])
+    assert record["kind"] == "service"
+    assert record["ok"] is True
+
+
+def test_corpus_is_distinct_by_key():
+    corpus = build_corpus(TINY)
+    assert len(corpus) == len(TINY.perturbations)
+    assert len({item.key for item in corpus}) == len(corpus)
+    bigger = dataclasses.replace(
+        TINY, strategies=("orig", "comb"), benchmarks=None
+    )
+    corpus = build_corpus(bigger)
+    assert len(corpus) == 6 * 2 * len(TINY.perturbations)
+    assert len({item.key for item in corpus}) == len(corpus)

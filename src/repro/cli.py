@@ -74,7 +74,7 @@ def _emit_diagnostics(
 
 def _pass_options(args: argparse.Namespace) -> CompilerOptions:
     """CompilerOptions from the compile flags, validating pass names."""
-    from .core.passes import registered_passes
+    from .core.passes import PIPELINES, registered_passes
 
     passes = registered_passes()
 
@@ -93,14 +93,28 @@ def _pass_options(args: argparse.Namespace) -> CompilerOptions:
     disabled = tuple(check(n, True) for n in args.disable_pass)
     pipeline = None
     if args.pipeline:
-        pipeline = tuple(
-            check(n.strip(), False)
-            for n in args.pipeline.split(",") if n.strip()
-        )
+        if args.pipeline in PIPELINES:
+            # A named pipeline (orig | nored | comb | exact) expands to
+            # its registered pass list.
+            pipeline = PIPELINES[args.pipeline]
+        else:
+            pipeline = tuple(
+                check(n.strip(), False)
+                for n in args.pipeline.split(",") if n.strip()
+            )
+    extra: dict = {}
+    budget = getattr(args, "solver_budget_ms", None)
+    if budget is not None:
+        if budget < 0:
+            print(f"error: --solver-budget-ms must be >= 0 (got {budget})",
+                  file=sys.stderr)
+            raise _CliExit(2)
+        extra["solver_budget_ms"] = budget
     return CompilerOptions(
         strict=args.strict,
         disabled_passes=disabled,
         pass_pipeline=pipeline,
+        **extra,
     )
 
 
@@ -403,6 +417,17 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if getattr(args, "exact", False):
+        from .perf.exactbench import format_exact_bench, write_exact_bench
+
+        output = args.output
+        if output == "BENCH_compile.json":  # default belongs to compile mode
+            output = "BENCH_exact.json"
+        payload = write_exact_bench(path=output, quick=args.quick)
+        print(format_exact_bench(payload))
+        print(f"\nwrote {output}")
+        return 0 if payload["ok"] else 1
+
     if getattr(args, "service", False):
         from .perf.servicebench import (
             format_service_bench,
@@ -528,8 +553,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the named optimization pass (repeatable; "
                         "structural passes cannot be disabled)")
     p.add_argument("--pipeline", default=None, metavar="A,B,C",
-                   help="run this comma-separated pass list instead of the "
+                   help="run a named pipeline (orig|nored|comb|exact) or "
+                        "this comma-separated pass list instead of the "
                         "strategy's default pipeline")
+    p.add_argument("--solver-budget-ms", type=int, default=None,
+                   metavar="MS",
+                   help="anytime budget for the exact placement search "
+                        "(--pipeline exact); the solver always returns its "
+                        "best incumbent, the greedy comb schedule at worst "
+                        "(default 1000)")
     p.add_argument("--list-passes", action="store_true",
                    help="list registered passes with their paper section "
                         "and enabled state, then exit")
@@ -632,9 +664,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "traffic, verify every response bitwise against a "
                         "direct compile, and report latency/cache/"
                         "coalescing numbers; writes BENCH_service.json")
+    p.add_argument("--exact", action="store_true",
+                   help="optimality-gap benchmark instead: run the anytime "
+                        "exact placement solver against every golden "
+                        "benchmark x strategy record, report greedy/optimal "
+                        "gaps and proved-optimal flags; writes "
+                        "BENCH_exact.json")
     p.add_argument("--quick", action="store_true",
-                   help="with --spmd/--transport/--kernels/--chaos: small "
-                        "problem sizes for CI smoke runs")
+                   help="with --spmd/--transport/--kernels/--chaos/--exact: "
+                        "small problem sizes / budgets for CI smoke runs")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(

@@ -62,6 +62,12 @@ class CompilerOptions:
     # uses the exact §6.1 branch-and-bound where tractable, degrading to
     # greedy when the search space is exceeded.
     placement_search: str = "greedy"  # 'greedy' | 'ilp'
+    # Wall-clock budget for the whole-pipeline exact placement search
+    # (the 'exact' pipeline, see repro.solver).  The anytime driver
+    # always returns its best incumbent — the greedy comb schedule when
+    # the budget expires before any improvement; <= 0 skips the search
+    # entirely and keeps the greedy seed.
+    solver_budget_ms: int = 1000
     # Pass-manager configuration (see repro.core.passes).  Optimization
     # passes named here are skipped (CLI --disable-pass); a non-None
     # pass_pipeline replaces the strategy's named pass list outright with

@@ -41,6 +41,9 @@ class DegradationEvent:
     error_type: str
     entry_id: Optional[int] = None
     entry_label: Optional[str] = None
+    #: Diagnostic code: W0601 for generic boundary fallbacks, W0604 when
+    #: an exact placement search degraded to the greedy schedule.
+    code: str = DEGRADED_CODE
 
     @classmethod
     def from_exception(
@@ -49,6 +52,7 @@ class DegradationEvent:
         exc: BaseException,
         fallback: str,
         entry: CommEntry | None = None,
+        code: str = DEGRADED_CODE,
     ) -> "DegradationEvent":
         return cls(
             pass_name=pass_name,
@@ -57,6 +61,7 @@ class DegradationEvent:
             error_type=type(exc).__name__,
             entry_id=entry.id if entry is not None else None,
             entry_label=entry.label if entry is not None else None,
+            code=code,
         )
 
     @property
@@ -67,7 +72,7 @@ class DegradationEvent:
 
     def diagnostic(self) -> Diagnostic:
         return Diagnostic(
-            code=DEGRADED_CODE,
+            code=self.code,
             severity="warning",
             message=(
                 f"pass {self.pass_name!r} degraded ({self.scope}): "
@@ -78,6 +83,7 @@ class DegradationEvent:
 
     def to_dict(self) -> dict[str, Any]:
         return {
+            "code": self.code,
             "pass": self.pass_name,
             "scope": self.scope,
             "entry_id": self.entry_id,

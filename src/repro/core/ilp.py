@@ -283,8 +283,11 @@ class ILPCombinePass(PlacementPass):
         try:
             run.placed = pl.ilp_choose(run.ctx, run.state)
         except Exception as exc:
+            from ..errors import SOLVER_FALLBACK_CODE
+
             run.faults.append(DegradationEvent.from_exception(
-                "ilp", exc, "greedy combining (§4.7 heuristic)"
+                "ilp", exc, "greedy combining (§4.7 heuristic)",
+                code=SOLVER_FALLBACK_CODE,
             ))
             run.placed = pl.greedy_choose(run.ctx, run.state)
         return {"groups": len(run.placed)}

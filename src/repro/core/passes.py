@@ -177,6 +177,7 @@ def registered_passes() -> dict[str, PlacementPass]:
     """Every registered pass, importing the defining modules first."""
     _pipeline()  # importing the pipeline registers the standard passes
     from . import ilp  # noqa: F401  (lazily imported elsewhere: §6.1 pass)
+    from .. import solver  # noqa: F401  (registers the 'exact' pass)
 
     return dict(_REGISTRY)
 
@@ -202,6 +203,9 @@ PIPELINES: dict[str, tuple[str, ...]] = {
     "orig": ("latest-placement",),
     "nored": ("earliest-placement",),
     "comb": ("subset", "redundancy", "greedy"),
+    # Whole-pipeline exact search (repro.solver): builds its own greedy
+    # comb incumbent internally, so the single pass subsumes §4.5-§4.7.
+    "exact": ("exact",),
 }
 
 

@@ -219,6 +219,12 @@ class InternalCompilerError(ReproError):
 #: ``DegradationEvent`` records in ``CompilationResult.degradations``).
 DEGRADED_CODE = "W0601"
 
+#: Exact-solver fallback: an ``ilp``/``exact`` placement search failed or
+#: overflowed its budget and the pipeline degraded to the greedy §4.7
+#: schedule.  Distinct from W0601 so solver regressions are greppable:
+#: the schedule is still optimized, just not provably optimal.
+SOLVER_FALLBACK_CODE = "W0604"
+
 #: Runtime fault-tolerance warning codes (the transport layer's
 #: ``RuntimeDegradationEvent`` records, surfaced like W0601 through
 #: ``--diagnostics-json``; see ``docs/ROBUSTNESS.md``).

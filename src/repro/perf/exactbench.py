@@ -1,0 +1,225 @@
+"""Optimality-gap benchmark for the anytime exact placement solver.
+
+``python -m repro bench --exact`` runs the ``exact`` pipeline
+(:mod:`repro.solver`) once per Figure 10 benchmark and compares the
+result against all three paper strategies (``orig``/``nored``/``comb``)
+— 18 benchmark x strategy records, matching the golden-schedule suite.
+Per record it reports the greedy message count, the solver's best count
+(``optimal_messages``), the ratio between them (``gap``), whether the
+solver *proved* optimality (lower bound met the incumbent within the
+budget), and the solver's wall time and node count.  Every schedule —
+greedy and exact — is validated by the dynamic staleness oracle
+(:func:`repro.runtime.checker.check_schedule`).
+
+The regression gate compares against ``tests/golden/schedules.json``
+when its records carry ``optimal_messages``/``gap`` fields:
+
+* a greedy count drifting past its recorded ``optimal x gap`` envelope,
+* the solver returning *more* messages than a previously proved
+  optimum (a solver regression), or
+* the solver returning *fewer* messages than a previously proved
+  optimum (a soundness alarm: proved optima cannot be beaten)
+
+all fail the run.  The anytime contract means a budget-capped solve is
+never an error — it reports the greedy-seeded incumbent with
+``proved_optimal: false`` and a gap of 1.0 against itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any
+
+from ..core.context import CompilerOptions
+from ..core.pipeline import Strategy, compile_program
+from ..evaluation.programs import BENCHMARKS
+from ..runtime.checker import check_schedule
+from .history import append_history, exact_headline
+from .stats import environment_metadata
+
+#: Anytime budget per benchmark.  Full mode matches the budget the
+#: golden ``optimal_messages`` fields were generated with; quick mode is
+#: sized for CI smoke runs (the clique lower bound proves most
+#: benchmarks optimal without any search, so a small budget loses only
+#: unproved tail-tightening).
+FULL_BUDGET_MS = 8000
+QUICK_BUDGET_MS = 2000
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))),
+    "tests", "golden", "schedules.json",
+)
+
+
+def _oracle_ok(result) -> bool:
+    try:
+        check_schedule(result)
+    except Exception:
+        return False
+    return True
+
+
+def _golden_records() -> dict[str, Any]:
+    """The golden suite's records, ``{}`` when not checked out (the
+    bench also runs from installed trees without the test data)."""
+    try:
+        with open(GOLDEN_PATH) as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return {}
+
+
+def run_exact_bench(quick: bool = False) -> dict[str, Any]:
+    budget_ms = QUICK_BUDGET_MS if quick else FULL_BUDGET_MS
+    golden = _golden_records()
+    records: list[dict[str, Any]] = []
+    exact_by_bench: dict[str, dict[str, Any]] = {}
+    regressions: list[str] = []
+
+    for name in sorted(BENCHMARKS):
+        source = BENCHMARKS[name]
+        t0 = time.perf_counter()
+        exact = compile_program(source, options=CompilerOptions(
+            pass_pipeline=("exact",), solver_budget_ms=budget_ms,
+        ))
+        exact_wall = time.perf_counter() - t0
+        stats = exact.stats
+        exact_by_bench[name] = {
+            "messages": exact.call_sites(),
+            "proved": bool(stats.get("solver_proved")),
+            "improved": bool(stats.get("solver_improved")),
+            "lower_bound": stats.get("solver_lower_bound"),
+            "seed_messages": stats.get("solver_seed_messages"),
+            "solver_ms": stats.get("solver_ms"),
+            "solver_nodes": stats.get("solver_nodes"),
+            "solver_queries": stats.get("solver_queries"),
+            "wall_s": round(exact_wall, 4),
+            "oracle_ok": _oracle_ok(exact),
+            "degraded": [e.to_dict() for e in exact.degradations],
+        }
+
+        for strategy in Strategy:
+            greedy = compile_program(source, strategy=strategy)
+            info = exact_by_bench[name]
+            optimal = info["messages"]
+            greedy_messages = greedy.call_sites()
+            gap = round(greedy_messages / optimal, 4) if optimal else 1.0
+            record = {
+                "benchmark": name,
+                "strategy": strategy.value,
+                "greedy_messages": greedy_messages,
+                "optimal_messages": optimal,
+                "gap": gap,
+                "proved_optimal": info["proved"],
+                "solver_wall_ms": info["solver_ms"],
+                "solver_nodes": info["solver_nodes"],
+                "oracle_ok": _oracle_ok(greedy),
+                "exact_oracle_ok": info["oracle_ok"],
+                "degraded": bool(greedy.degradations) or bool(
+                    info["degraded"]),
+            }
+            gold = (golden.get(name) or {}).get(strategy.value) or {}
+            if gold.get("optimal_messages") is not None:
+                envelope = gold["optimal_messages"] * gold.get("gap", 1.0)
+                if greedy_messages > envelope + 1e-9:
+                    regressions.append(
+                        f"{name}/{strategy.value}: greedy {greedy_messages} "
+                        f"messages exceeds recorded envelope {envelope:g}"
+                    )
+                if gold.get("proved_optimal"):
+                    if optimal > gold["optimal_messages"]:
+                        regressions.append(
+                            f"{name}/{strategy.value}: solver found "
+                            f"{optimal} messages, worse than proved "
+                            f"optimum {gold['optimal_messages']}"
+                        )
+                    elif optimal < gold["optimal_messages"]:
+                        regressions.append(
+                            f"{name}/{strategy.value}: solver beat a "
+                            f"proved optimum ({optimal} < "
+                            f"{gold['optimal_messages']}) — soundness alarm"
+                        )
+            records.append(record)
+
+    comb_counts = {
+        r["benchmark"]: r["greedy_messages"]
+        for r in records if r["strategy"] == "comb"
+    }
+    exact_le_comb = all(
+        info["messages"] <= comb_counts.get(name, info["messages"])
+        for name, info in exact_by_bench.items()
+    )
+    all_oracle_ok = all(
+        r["oracle_ok"] and r["exact_oracle_ok"] for r in records
+    )
+    any_proved = any(info["proved"] for info in exact_by_bench.values())
+    no_degradations = not any(
+        info["degraded"] for info in exact_by_bench.values()
+    )
+
+    return {
+        "mode": "quick" if quick else "full",
+        "solver_budget_ms": budget_ms,
+        "benchmarks": exact_by_bench,
+        "records": records,
+        "regressions": regressions,
+        "golden_gap_fields": any(
+            (rec or {}).get("optimal_messages") is not None
+            for by_strat in golden.values()
+            for rec in (by_strat or {}).values()
+        ),
+        "ok": (
+            all_oracle_ok and exact_le_comb and any_proved
+            and no_degradations and not regressions
+        ),
+        "environment": environment_metadata(),
+    }
+
+
+def format_exact_bench(payload: dict[str, Any]) -> str:
+    lines = [
+        f"exact placement bench ({payload['mode']}, "
+        f"budget {payload['solver_budget_ms']} ms per benchmark)",
+        "",
+        f"{'benchmark':<16} {'strategy':<7} {'greedy':>6} {'optimal':>7} "
+        f"{'gap':>6} {'proved':>6} {'ms':>7} {'nodes':>8} {'oracle':>6}",
+    ]
+    for r in payload["records"]:
+        oracle = "ok" if r["oracle_ok"] and r["exact_oracle_ok"] else "FAIL"
+        lines.append(
+            f"{r['benchmark']:<16} {r['strategy']:<7} "
+            f"{r['greedy_messages']:>6} {r['optimal_messages']:>7} "
+            f"{r['gap']:>6.3f} {str(r['proved_optimal']).lower():>6} "
+            f"{r['solver_wall_ms'] if r['solver_wall_ms'] is not None else '-':>7} "
+            f"{r['solver_nodes'] if r['solver_nodes'] is not None else '-':>8} "
+            f"{oracle:>6}"
+        )
+    proved = sum(
+        1 for b in payload["benchmarks"].values() if b.get("proved")
+    )
+    lines.append("")
+    lines.append(
+        f"proved optimal: {proved}/{len(payload['benchmarks'])} benchmarks"
+    )
+    for msg in payload.get("regressions", []):
+        lines.append(f"REGRESSION: {msg}")
+    lines.append(f"ok: {payload['ok']}")
+    return "\n".join(lines)
+
+
+def write_exact_bench(
+    path: str = "BENCH_exact.json", quick: bool = False
+) -> dict[str, Any]:
+    payload = run_exact_bench(quick=quick)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    append_history(
+        "exact",
+        exact_headline(payload),
+        directory=os.path.dirname(os.path.abspath(path)),
+    )
+    return payload

@@ -205,6 +205,42 @@ def service_headline(payload: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+def exact_headline(payload: dict[str, Any]) -> dict[str, Any]:
+    """Backfill-safe: every field degrades to None when a payload
+    predates it, so mixed-age history files still parse."""
+    benchmarks = payload.get("benchmarks") or {}
+    records = payload.get("records") or []
+    gaps = [
+        r["gap"] for r in records
+        if isinstance(r, dict) and r.get("gap") is not None
+    ]
+    solver_ms = [
+        b["solver_ms"] for b in benchmarks.values()
+        if isinstance(b, dict) and b.get("solver_ms") is not None
+    ]
+    rejected = sum(
+        1 for r in records
+        if isinstance(r, dict)
+        and (r.get("oracle_ok") is False or r.get("exact_oracle_ok") is False)
+    )
+    return {
+        "mode": payload.get("mode"),
+        "ok": payload.get("ok"),
+        "solver_budget_ms": payload.get("solver_budget_ms"),
+        "benchmarks": len(benchmarks) or None,
+        "records": len(records) or None,
+        "proved": sum(
+            1 for b in benchmarks.values()
+            if isinstance(b, dict) and b.get("proved")
+        ) if benchmarks else None,
+        "max_gap": max(gaps) if gaps else None,
+        "mean_gap": round(sum(gaps) / len(gaps), 4) if gaps else None,
+        "solver_ms_total": round(sum(solver_ms), 1) if solver_ms else None,
+        "oracle_rejections": rejected if records else None,
+        "regressions": len(payload.get("regressions") or []) or 0,
+    }
+
+
 def kernel_headline(payload: dict[str, Any]) -> list[dict[str, Any]]:
     """One headline per swept grid — scaling curves across commits need
     per-P points, so ``--kernels`` appends several records per run."""

@@ -12,6 +12,7 @@ from repro.perf.history import (
     append_history,
     chaos_headline,
     compile_headline,
+    exact_headline,
     kernel_headline,
     service_headline,
     spmd_headline,
@@ -177,6 +178,45 @@ class TestHistory:
         assert h["warm_p99_ms"] is None
         assert h["speedup_ratio"] is None
         assert h["cache_hit_rate"] is None
+
+    def test_exact_headline(self):
+        payload = {
+            "mode": "quick", "ok": True, "solver_budget_ms": 2000,
+            "benchmarks": {
+                "a": {"messages": 4, "proved": True, "solver_ms": 12},
+                "b": {"messages": 8, "proved": False, "solver_ms": 2001},
+            },
+            "records": [
+                {"benchmark": "a", "strategy": "orig", "gap": 3.0,
+                 "oracle_ok": True, "exact_oracle_ok": True},
+                {"benchmark": "a", "strategy": "comb", "gap": 1.0,
+                 "oracle_ok": True, "exact_oracle_ok": True},
+                {"benchmark": "b", "strategy": "comb", "gap": 1.0,
+                 "oracle_ok": False, "exact_oracle_ok": True},
+            ],
+            "regressions": ["b/comb: greedy regressed"],
+        }
+        h = exact_headline(payload)
+        assert h["ok"] is True
+        assert h["benchmarks"] == 2 and h["records"] == 3
+        assert h["proved"] == 1
+        assert h["max_gap"] == 3.0
+        assert h["mean_gap"] == pytest.approx(1.6667)
+        assert h["solver_ms_total"] == pytest.approx(2013)
+        assert h["oracle_rejections"] == 1
+        assert h["regressions"] == 1
+        json.dumps(h)  # one JSONL-able line
+
+    def test_exact_headline_is_backfill_safe(self):
+        # Payloads predating any counter degrade to None, never raise.
+        h = exact_headline({"mode": "quick", "ok": False})
+        assert h["benchmarks"] is None and h["records"] is None
+        assert h["proved"] is None
+        assert h["max_gap"] is None and h["mean_gap"] is None
+        assert h["solver_ms_total"] is None
+        assert h["oracle_rejections"] is None
+        assert h["regressions"] == 0
+        json.dumps(h)
 
     def test_kernel_headline_one_record_per_grid(self):
         cell = {

@@ -217,6 +217,34 @@ class TestPassFlags:
         ) == 2
         assert "unknown pass 'nope'" in capsys.readouterr().err
 
+    def test_named_exact_pipeline(self, program_file, capsys):
+        import json
+
+        assert main(
+            ["compile", program_file, "--pipeline", "exact",
+             "--solver-budget-ms", "500", "--check", "--trace-json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (record,) = payload["strategies"]
+        assert [t["pass"] for t in record["passes"]] == ["analyze", "exact"]
+        assert not any(t["degraded"] for t in record["passes"])
+
+    def test_negative_solver_budget_rejected(self, program_file, capsys):
+        assert main(
+            ["compile", program_file, "--solver-budget-ms", "-5"]
+        ) == 2
+        assert "--solver-budget-ms" in capsys.readouterr().err
+
+    def test_non_integer_solver_budget_rejected(self, program_file):
+        with pytest.raises(SystemExit) as exc:
+            main(["compile", program_file, "--solver-budget-ms", "soon"])
+        assert exc.value.code == 2
+
+    def test_list_passes_shows_exact(self, capsys):
+        assert main(["compile", "--list-passes"]) == 0
+        out = capsys.readouterr().out
+        assert "exact" in out and "§4+§6.1" in out
+
 
 class TestOtherCommands:
     def test_simulate(self, program_file, capsys):

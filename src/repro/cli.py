@@ -110,6 +110,16 @@ def _pass_options(args: argparse.Namespace) -> CompilerOptions:
                   file=sys.stderr)
             raise _CliExit(2)
         extra["solver_budget_ms"] = budget
+    machine = getattr(args, "machine", None)
+    if machine is not None:
+        extra["machine"] = machine
+    threshold = getattr(args, "threshold_bytes", None)
+    if threshold is not None:
+        if threshold <= 0:
+            print(f"error: --threshold-bytes must be > 0 (got {threshold})",
+                  file=sys.stderr)
+            raise _CliExit(2)
+        extra["combine_threshold_bytes"] = threshold
     return CompilerOptions(
         strict=args.strict,
         disabled_passes=disabled,
@@ -417,6 +427,27 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if getattr(args, "autotune", False):
+        from .perf.autotunebench import (
+            CALIBRATED_BACKENDS,
+            format_autotune_bench,
+            write_autotune_bench,
+        )
+
+        output = args.output
+        if output == "BENCH_compile.json":  # default belongs to compile mode
+            output = "BENCH_autotune.json"
+        backends = (
+            tuple(b.strip() for b in args.backends.split(",") if b.strip())
+            if args.backends else CALIBRATED_BACKENDS
+        )
+        payload = write_autotune_bench(
+            path=output, quick=args.quick, backends=backends
+        )
+        print(format_autotune_bench(payload))
+        print(f"\nwrote {output}")
+        return 0 if payload["ok"] else 1
+
     if getattr(args, "exact", False):
         from .perf.exactbench import format_exact_bench, write_exact_bench
 
@@ -562,6 +593,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "(--pipeline exact); the solver always returns its "
                         "best incumbent, the greedy comb schedule at worst "
                         "(default 1000)")
+    p.add_argument("--machine", choices=sorted(MACHINES), default=None,
+                   help="machine model the combining threshold is derived "
+                        "from (default SP2)")
+    p.add_argument("--threshold-bytes", type=int, default=None, metavar="N",
+                   help="override the machine-derived combining threshold "
+                        "(ablations; default: derive from --machine)")
     p.add_argument("--list-passes", action="store_true",
                    help="list registered passes with their paper section "
                         "and enabled state, then exit")
@@ -646,7 +683,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "machine model, verify bitwise identity; writes "
                         "BENCH_transport.json")
     p.add_argument("--backends", default=None, metavar="LIST",
-                   help="with --transport: comma-separated backend subset "
+                   help="with --transport/--autotune: comma-separated "
+                        "backend subset "
                         "(default inline,threaded,multiprocess)")
     p.add_argument("--kernels", action="store_true",
                    help="kernel scaling benchmark instead: sweep the fused "
@@ -670,9 +708,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "benchmark x strategy record, report greedy/optimal "
                         "gaps and proved-optimal flags; writes "
                         "BENCH_exact.json")
+    p.add_argument("--autotune", action="store_true",
+                   help="threshold autotuning benchmark instead: compile "
+                        "every program under the SP2/NOW presets and "
+                        "host-calibrated machine models, report which "
+                        "schedules change with predicted/measured deltas "
+                        "plus the per-program traffic lower bound; writes "
+                        "BENCH_autotune.json")
     p.add_argument("--quick", action="store_true",
-                   help="with --spmd/--transport/--kernels/--chaos/--exact: "
-                        "small problem sizes / budgets for CI smoke runs")
+                   help="with --spmd/--transport/--kernels/--chaos/--exact/"
+                        "--autotune: small problem sizes / budgets for CI "
+                        "smoke runs")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(

@@ -5,9 +5,12 @@ of all but one can actually be eliminated:
 
 1. their sender→receiver mappings are identical (checked in physical
    processor space — :func:`repro.comm.patterns.mappings_combinable`);
-2. the combined transmitted volume stays below a threshold (20 KB on the
-   SP2, from the paper's Figure 5 buffer-copy study) — beyond it, packing
-   costs eat the startup savings;
+2. the combined transmitted volume stays below a threshold derived from
+   the machine's Figure 5 knee (~18 KB on the SP2 preset; the paper reads
+   ~20 KB off the measured curve) — beyond it, packing costs eat the
+   startup savings.  The predicate stays parameterized on the byte count;
+   callers obtain it from ``AnalysisContext.cost_model.threshold_bytes()``
+   (see :mod:`repro.cost.model`), the single owner of that decision;
 3. the single section descriptor approximating ``D1 ∪ D2`` does not exceed
    ``|D1| + |D2|`` by more than a small constant (array sections are not
    closed under union); for different arrays the union descriptor holds

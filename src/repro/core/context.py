@@ -12,11 +12,13 @@ from dataclasses import dataclass
 
 from ..comm.entries import CommEntry, SectionBuilder
 from ..comm.patterns import PatternClassifier
+from ..cost.model import CostModel, resolve_machine
 from ..dependence.tests import DependenceTester
 from ..frontend.analysis import ProgramInfo
 from ..ir.cfg import CFG, Node, Position
 from ..ir.dominators import DominatorInfo
 from ..ir.ssa import SSA
+from ..machine.model import MachineModel
 from ..perf.stats import CacheStatsRegistry
 
 
@@ -24,17 +26,23 @@ from ..perf.stats import CacheStatsRegistry
 class CompilerOptions:
     """Tuning knobs for the placement algorithm.
 
-    ``combine_threshold_bytes`` is the paper's message-combining limit
-    (20 KB on the SP2, from the Figure 5 study).  ``hull_slack`` and
-    ``hull_const`` bound how much larger the single-descriptor union may be
-    than the two sections it replaces (§4.7's "small constant").
-    ``greedy_order`` and the two ``enable_*`` switches exist for the
-    ablation benchmarks: ``constrained`` is the paper's most-constrained-
-    first rule, and the paper's §6 notes that subset elimination must be
-    dropped if overlap ever becomes an objective.
+    ``machine`` names the :class:`~repro.machine.model.MachineModel` the
+    program is compiled *for* (a preset name or a calibrated model
+    instance); the combining threshold is derived from its Figure 5 knee
+    by :class:`~repro.cost.model.CostModel` — ~18 KB on the SP2 preset,
+    replacing the paper's hand-read 20 KB.  ``combine_threshold_bytes``
+    is an explicit byte override for ablations and tests (``None`` means
+    "derive from the machine").  ``hull_slack`` and ``hull_const`` bound
+    how much larger the single-descriptor union may be than the two
+    sections it replaces (§4.7's "small constant").  ``greedy_order``
+    and the two ``enable_*`` switches exist for the ablation benchmarks:
+    ``constrained`` is the paper's most-constrained-first rule, and the
+    paper's §6 notes that subset elimination must be dropped if overlap
+    ever becomes an objective.
     """
 
-    combine_threshold_bytes: int = 20480
+    combine_threshold_bytes: "int | None" = None
+    machine: "str | MachineModel" = "SP2"
     hull_slack: float = 0.25
     hull_const: int = 64
     greedy_order: str = "constrained"  # 'constrained' | 'arbitrary' | 'reversed'
@@ -91,6 +99,12 @@ class AnalysisContext:
     def __init__(self, info: ProgramInfo, options: CompilerOptions | None = None) -> None:
         self.info = info
         self.options = options or CompilerOptions()
+        # The single accessor every combining pass (greedy, ILP, exact
+        # solver) reads the message-size threshold through.
+        self.cost_model = CostModel(
+            machine=resolve_machine(self.options.machine),
+            override_threshold_bytes=self.options.combine_threshold_bytes,
+        )
         self.cfg = CFG(info.program)
         self.dom = DominatorInfo(self.cfg)
         tracked = set(info.layouts) | set(info.scalars)

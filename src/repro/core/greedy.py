@@ -68,7 +68,7 @@ def _combinable_at_impl(
         sec_a,
         sec_b,
         ranges,
-        opts.combine_threshold_bytes,
+        ctx.cost_model.threshold_bytes(),
         opts.hull_slack,
         opts.hull_const,
     )
@@ -166,11 +166,12 @@ def _partition_groups(
         )
         for e in entries
     }
+    threshold = ctx.cost_model.threshold_bytes()
     groups: list[list[CommEntry]] = []
     group_vol: list[int] = []
     for entry in sorted(entries, key=lambda e: e.id):
         for gi, group in enumerate(groups):
-            if group_vol[gi] + volumes[entry.id] > ctx.options.combine_threshold_bytes:
+            if group_vol[gi] + volumes[entry.id] > threshold:
                 continue
             if all(_combinable_at(ctx, entry, m, pos) for m in group):
                 group.append(entry)

@@ -17,24 +17,19 @@ measured against:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from itertools import combinations
 
 from ..comm.compatibility import message_volume
 from ..comm.entries import CommEntry
+from ..cost.model import PlacementCostModel
 from ..errors import PlacementError
 from ..ir.cfg import Position
 from .context import AnalysisContext
 from .greedy import _combinable_at
 
-
-@dataclass(frozen=True)
-class CostModel:
-    """§6.1's model: startup ``C`` (scaled to inverse-bandwidth units) plus
-    transmitted volume."""
-
-    startup: float = 4000.0  # "bytes-equivalent" of one message startup
-    inv_bandwidth: float = 1.0
+# The §6.1 search cost model now lives in the unified cost layer
+# (repro.cost.model); this alias keeps the historical import path.
+CostModel = PlacementCostModel
 
 
 def _group_entries(
@@ -59,7 +54,7 @@ def placement_cost(
     model: CostModel | None = None,
 ) -> float:
     """Total §6.1 cost of placing each entry at its assigned position."""
-    model = model or CostModel()
+    model = model or ctx.cost_model.placement_model()
     by_pos: dict[Position, list[CommEntry]] = {}
     for entry in entries:
         by_pos.setdefault(assignment[entry.id], []).append(entry)
@@ -95,7 +90,7 @@ def optimal_placement(
     Raises :class:`PlacementError` when the search space exceeds
     ``search_limit`` — the practical face of Claim 6.1.
     """
-    model = model or CostModel()
+    model = model or ctx.cost_model.placement_model()
     live = [e for e in entries if e.alive and e.candidates]
     space = 1
     for e in live:
@@ -171,7 +166,7 @@ def milp_placement(
     from scipy.optimize import LinearConstraint, milp
     from scipy.sparse import lil_matrix
 
-    model = model or CostModel()
+    model = model or ctx.cost_model.placement_model()
     live = [e for e in entries if e.alive and e.candidates]
     if not live:
         return {}, 0.0

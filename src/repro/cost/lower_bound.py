@@ -1,0 +1,358 @@
+"""HBL-style communication lower bounds over affine array references.
+
+Christ–Demmel–Knight–Scanlon–Yelick (arXiv 1308.0068) bound the
+communication of any schedule for an affine-loop computation by the size
+of the data footprint each processor must touch beyond what it already
+holds.  This module instantiates that idea for this compiler's exact
+execution model, where the bound is not merely asymptotic but a hard
+byte floor:
+
+* Storage validity starts exactly on the owner-computes partition: each
+  rank's arrays are initialized valid only on its
+  :meth:`~repro.runtime.darray.Ownership.owned_rsd` region.
+* Writes only ever touch owned elements (distributed statements execute
+  under owner-computes; replicated data is written redundantly
+  everywhere, so reading it never needs the wire).
+* Every read is checked against the validity mask, so a rank reading a
+  non-owned element of a distributed array must have had that element
+  delivered over the wire at least once — and every such delivery is
+  counted in ``RuntimeStats.bytes_moved`` (the transports count the
+  exact planned wire bytes; forwarding hops only add more).
+
+Therefore, for any schedule the compiler could ever emit::
+
+    bytes_moved  >=  sum over (rank, array) of
+                     |elements read by rank \\ elements owned by rank|
+                     * elem_bytes
+
+The walker computes the right-hand side exactly for the scalarized
+programs the pipeline analyzes: loop nests are enumerated with affine
+bounds (loops whose variable reaches no subscript or inner bound are
+executed once — repetition cannot enlarge a footprint), ``IF`` bodies
+are skipped entirely (a guarded read may never execute; skipping
+under-approximates, which keeps the bound sound), and reduction
+intrinsics are excluded from the wire floor (the runtime reduces each
+rank's *owned* piece, so their inputs never cross the wire, and their
+combine traffic is deliberately not part of ``bytes_moved``).  Reduction
+combining gets its own informational floor instead.  Anything the walker
+cannot analyze exactly (non-affine subscripts, section arguments outside
+reductions, arrays on mismatched grids) contributes zero — again an
+under-approximation, never an overcount.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..affine import NonAffineError
+from ..frontend import ast_nodes as ast
+from ..frontend.analysis import ProgramInfo
+from ..runtime.darray import Ownership, grid_ranks
+
+#: Fixed element width of the runtime (doubles, as in the paper).
+_SCALAR_BYTES = 8
+
+
+@dataclass
+class ArrayFloor:
+    """Per-array slice of the wire floor."""
+
+    array: str
+    elem_bytes: int
+    needed_elements: int  # non-owned elements read, summed over ranks
+
+    @property
+    def bytes(self) -> int:
+        return self.needed_elements * self.elem_bytes
+
+
+@dataclass
+class LowerBoundReport:
+    """The per-program communication floor.
+
+    ``wire_floor_bytes`` is the provable minimum ``bytes_moved`` of any
+    schedule (see the module docstring); ``reduction_floor_bytes`` is
+    the separate tree-combine minimum for reduction intrinsics, which
+    the runtime deliberately does not count in ``bytes_moved`` and so
+    must never be folded into the gated ratio.
+    """
+
+    wire_floor_bytes: int
+    reduction_floor_bytes: int
+    per_array: dict[str, ArrayFloor] = field(default_factory=dict)
+    unanalyzed_statements: int = 0
+
+    def ratio(self, bytes_moved: int) -> "float | None":
+        """``bytes_moved / wire_floor`` (None on a zero floor)."""
+        if self.wire_floor_bytes <= 0:
+            return None
+        return bytes_moved / self.wire_floor_bytes
+
+    def sound_for(self, bytes_moved: int) -> bool:
+        """True iff the floor really is a floor for this execution."""
+        return self.wire_floor_bytes <= bytes_moved
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "wire_floor_bytes": self.wire_floor_bytes,
+            "reduction_floor_bytes": self.reduction_floor_bytes,
+            "per_array": {
+                name: {
+                    "needed_elements": f.needed_elements,
+                    "bytes": f.bytes,
+                }
+                for name, f in sorted(self.per_array.items())
+            },
+            "unanalyzed_statements": self.unanalyzed_statements,
+        }
+
+
+class _FootprintWalker:
+    """Enumerates the scalarized program and accumulates, per rank, the
+    non-owned elements each distributed array is read at."""
+
+    def __init__(self, info: ProgramInfo) -> None:
+        self.info = info
+        self.unanalyzed = 0
+        self.reduction_floor = 0
+        self._seen_reductions: set[int] = set()
+        # Lazily built per distributed array: the list of grid ranks,
+        # a (nranks, *shape) owned mask, and a same-shape need mask.
+        self._masks: dict[str, tuple[list, np.ndarray, np.ndarray]] = {}
+
+    # -- ownership masks ----------------------------------------------------
+
+    def _array_masks(self, name: str):
+        cached = self._masks.get(name)
+        if cached is not None:
+            return cached
+        layout = self.info.layout(name)
+        ranks = grid_ranks(layout.grid.shape)
+        owned = np.zeros((len(ranks), *layout.shape), dtype=bool)
+        ownership = Ownership(layout)
+        for gr in ranks:
+            rsd = ownership.owned_rsd(gr.coords)
+            if not rsd.is_empty:
+                idx = tuple(
+                    slice(d.lo - 1, d.hi, d.step) for d in rsd.dims
+                )
+                owned[(gr.rank,) + idx] = True
+        need = np.zeros_like(owned)
+        self._masks[name] = (ranks, owned, need)
+        return self._masks[name]
+
+    # -- expression walk ----------------------------------------------------
+
+    def _collect_reads(self, expr: ast.Expr, out: list[ast.ArrayRef]) -> None:
+        """Distributed array reads in ``expr``, skipping reduction
+        subtrees (their inputs are owned-local; see module docstring)."""
+        if isinstance(expr, ast.Reduction):
+            self._note_reduction(expr)
+            return
+        if isinstance(expr, ast.ArrayRef):
+            if self.info.is_distributed(expr.name):
+                out.append(expr)
+            for sub in expr.subscripts:
+                if isinstance(sub, ast.Index):
+                    self._collect_reads(sub.expr, out)
+            return
+        if isinstance(expr, ast.BinOp):
+            self._collect_reads(expr.left, out)
+            self._collect_reads(expr.right, out)
+        elif isinstance(expr, ast.UnOp):
+            self._collect_reads(expr.operand, out)
+        elif isinstance(expr, ast.Intrinsic):
+            for arg in expr.args:
+                self._collect_reads(arg, out)
+
+    def _note_reduction(self, red: ast.Reduction) -> None:
+        """Informational tree-combine floor: each distinct reduction
+        site must move at least (P-1) partial results of scalar width,
+        counted once per site (a repeated reduction could in principle
+        be hoisted, so once is the floor)."""
+        if id(red) in self._seen_reductions:
+            return
+        self._seen_reductions.add(id(red))
+        if not self.info.is_distributed(red.arg.name):
+            return
+        layout = self.info.layout(red.arg.name)
+        procs = layout.grid.size
+        if procs > 1:
+            self.reduction_floor += (procs - 1) * _SCALAR_BYTES
+
+    # -- statement walk -----------------------------------------------------
+
+    def walk(self, body: list[ast.Stmt], env: dict[str, int]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.Assign):
+                self._assign(stmt, env)
+            elif isinstance(stmt, ast.Do):
+                self._do(stmt, env)
+            # IF bodies are skipped wholesale: a guarded read may never
+            # execute, and the branch condition itself is replicated
+            # (the frontend rejects distributed reads in control), so
+            # conditionals contribute nothing to a sound floor.
+
+    def _do(self, stmt: ast.Do, env: dict[str, int]) -> None:
+        try:
+            lo = self.info.affine(stmt.lo).evaluate(env)
+            hi = self.info.affine(stmt.hi).evaluate(env)
+            step = self.info.affine(stmt.step).evaluate(env)
+        except NonAffineError:
+            self.unanalyzed += 1
+            return
+        if step == 0:
+            self.unanalyzed += 1
+            return
+        stop = hi + 1 if step > 0 else hi - 1
+        values = range(lo, stop, step)
+        if not values:
+            return
+        if not self._var_reaches_subscripts(stmt.var, stmt.body):
+            # Re-executing a body with an unchanged footprint cannot
+            # enlarge the footprint: one trip suffices for the floor.
+            values = values[:1]
+        for value in values:
+            env[stmt.var] = value
+            self.walk(stmt.body, env)
+        del env[stmt.var]
+
+    def _var_reaches_subscripts(self, var: str, body: list[ast.Stmt]) -> bool:
+        """Does ``var`` influence any subscript or inner loop bound?"""
+        for stmt in ast.walk_stmts(body):
+            exprs: list[ast.Expr] = []
+            if isinstance(stmt, ast.Assign):
+                exprs.append(stmt.rhs)
+                if isinstance(stmt.lhs, ast.ArrayRef):
+                    exprs.append(stmt.lhs)
+            elif isinstance(stmt, ast.Do):
+                exprs.extend((stmt.lo, stmt.hi, stmt.step))
+            for expr in exprs:
+                for node in ast.walk_expr(expr):
+                    if not isinstance(node, ast.ArrayRef):
+                        continue
+                    for sub in node.subscripts:
+                        parts = (
+                            (sub.expr,) if isinstance(sub, ast.Index)
+                            else (sub.lo, sub.hi, sub.step)
+                        )
+                        for part in parts:
+                            if part is None:
+                                continue
+                            try:
+                                form = self.info.affine(part)
+                            except NonAffineError:
+                                return True  # conservative: iterate fully
+                            if var in form.symbols:
+                                return True
+            if isinstance(stmt, ast.Do):
+                for bound in (stmt.lo, stmt.hi, stmt.step):
+                    try:
+                        if var in self.info.affine(bound).symbols:
+                            return True
+                    except NonAffineError:
+                        return True
+        return False
+
+    def _element_of(
+        self, ref: ast.ArrayRef, env: dict[str, int]
+    ) -> "tuple[int, ...] | None":
+        """The single global element a scalar reference touches, or None
+        when the reference is not an analyzable point access."""
+        layout = self.info.layout(ref.name)
+        element = []
+        for dim, sub in enumerate(ref.subscripts):
+            if not isinstance(sub, ast.Index):
+                return None  # a section outside a reduction: skip (sound)
+            try:
+                value = self.info.affine(sub.expr).evaluate(env)
+            except NonAffineError:
+                return None
+            if not 1 <= value <= layout.dims[dim].extent:
+                return None  # out-of-bounds never executes validly
+            element.append(value)
+        return tuple(element)
+
+    def _assign(self, stmt: ast.Assign, env: dict[str, int]) -> None:
+        reads: list[ast.ArrayRef] = []
+        self._collect_reads(stmt.rhs, reads)
+
+        lhs = stmt.lhs
+        executing_rank: "int | None" = None  # None == replicated: all ranks
+        lhs_grid = None
+        if isinstance(lhs, ast.ArrayRef) and self.info.is_distributed(lhs.name):
+            layout = self.info.layout(lhs.name)
+            element = self._element_of(lhs, env)
+            if element is None:
+                if reads:
+                    self.unanalyzed += 1
+                return
+            coords = Ownership(layout).owner_rank_coords(element)
+            executing_rank = int(
+                np.ravel_multi_index(coords, layout.grid.shape)
+            )
+            lhs_grid = layout.grid
+
+        for ref in reads:
+            layout = self.info.layout(ref.name)
+            if lhs_grid is not None and layout.grid != lhs_grid:
+                self.unanalyzed += 1  # cross-grid: no shared rank space
+                continue
+            element = self._element_of(ref, env)
+            if element is None:
+                self.unanalyzed += 1
+                continue
+            ranks, owned, need = self._array_masks(ref.name)
+            idx = tuple(c - 1 for c in element)
+            if executing_rank is not None:
+                if not owned[(executing_rank,) + idx]:
+                    need[(executing_rank,) + idx] = True
+            else:
+                # Replicated statement: every rank evaluates the RHS, so
+                # every non-owner needs the element.
+                need[(slice(None),) + idx] = True
+
+    # -- result -------------------------------------------------------------
+
+    def report(self) -> LowerBoundReport:
+        per_array: dict[str, ArrayFloor] = {}
+        total = 0
+        for name, (_ranks, owned, need) in sorted(self._masks.items()):
+            needed = int(np.count_nonzero(need & ~owned))
+            if needed == 0:
+                continue
+            floor = ArrayFloor(
+                array=name,
+                elem_bytes=self.info.layout(name).elem_bytes,
+                needed_elements=needed,
+            )
+            per_array[name] = floor
+            total += floor.bytes
+        return LowerBoundReport(
+            wire_floor_bytes=total,
+            reduction_floor_bytes=self.reduction_floor,
+            per_array=per_array,
+            unanalyzed_statements=self.unanalyzed,
+        )
+
+
+def lower_bound(info: ProgramInfo) -> LowerBoundReport:
+    """The HBL-style communication floor of one elaborated (scalarized)
+    program.  Depends only on the program and its data distribution —
+    never on the placement strategy — so refining a strategy can only
+    move ``bytes_moved`` toward the same fixed floor."""
+    walker = _FootprintWalker(info)
+    walker.walk(info.program.body, {})
+    return walker.report()
+
+
+def reduction_tree_messages(procs: int) -> int:
+    """Messages of one combine+broadcast tree over ``procs`` ranks (the
+    runtime's accounting for one reduction execution)."""
+    if procs <= 1:
+        return 0
+    return 2 * math.ceil(math.log2(procs))

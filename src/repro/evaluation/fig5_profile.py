@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..cost.model import DEFAULT_KNEE_FRACTION, CostModel, discrete_knee
 from ..machine.model import MACHINES, MachineModel
 
 
@@ -44,14 +45,16 @@ class Profile:
     machine: str
     points: list[ProfilePoint]
 
-    def knee(self, fraction: float = 0.8) -> int:
+    def knee(self, fraction: float = DEFAULT_KNEE_FRACTION) -> int:
         """Smallest size reaching ``fraction`` of asymptotic receive
-        bandwidth — the paper's combining-threshold estimate."""
-        target = fraction * max(p.receive_bw for p in self.points)
-        for p in self.points:
-            if p.receive_bw >= target:
-                return p.nbytes
-        return self.points[-1].nbytes
+        bandwidth — the discrete read-off of the combining threshold.
+        The knee rule itself lives in the cost layer
+        (:func:`repro.cost.model.discrete_knee`); the compiler's actual
+        threshold is the analytic form,
+        :meth:`repro.cost.model.CostModel.derived_threshold`."""
+        return discrete_knee(
+            [(p.nbytes, p.receive_bw) for p in self.points], fraction
+        )
 
     def cache_cliff(self) -> int:
         """Size at which bcopy bandwidth starts dropping (cache limit)."""
@@ -94,6 +97,12 @@ def format_profile(profile: Profile) -> str:
         f"knee(80% bw) = {profile.knee()} bytes; "
         f"bcopy cache cliff = {profile.cache_cliff()} bytes"
     )
+    machine = MACHINES.get(profile.machine)
+    if machine is not None:
+        lines.append(
+            f"derived combining threshold = "
+            f"{CostModel(machine=machine).derived_threshold()} bytes"
+        )
     return "\n".join(lines)
 
 

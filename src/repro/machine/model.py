@@ -146,23 +146,36 @@ def calibrated_model(
     bandwidth_bps: float,
     base: "MachineModel | None" = None,
 ) -> MachineModel:
-    """A :class:`MachineModel` with measured message constants: the
-    startup and bandwidth come from :func:`fit_linear_cost` over real
-    transport micro-benchmarks, every other curve is inherited from
-    ``base`` (default SP2).  This turns the representative presets into
-    a model of the machine actually running the backends, so §6.1
-    predictions can be read in host seconds."""
+    """A :class:`MachineModel` with measured message constants.
+
+    Contract: ``startup_s`` and ``bandwidth_bps`` come from
+    :func:`fit_linear_cost` over real transport micro-benchmarks and are
+    taken verbatim (floored at physical minima).  Every *curve shape*
+    (bcopy bandwidths, cache size, flops) is inherited from ``base``
+    (default SP2) unscaled.  The remaining *per-message time* constants —
+    ``inject_s`` and ``sw_overhead_s`` — scale with the measured startup
+    by the ratio ``startup_s / base.startup_s``, preserving the base
+    machine's proportions: a backend whose dispatch handshake is 10x the
+    SP2's is charged 10x its software overhead too, rather than zero.
+    (``sw_overhead_s`` used to be silently zeroed here, which made
+    calibrated models claim a per-message cost *below* the fitted
+    intercept; the fitted intercept measures the whole handshake, and the
+    split between "wire startup" and "software overhead" keeps the base
+    ratio.)  This turns the representative presets into a model of the
+    machine actually running the backends, so §6.1 predictions can be
+    read in host seconds."""
     base = base or SP2
+    scale = max(startup_s, 1e-9) / base.startup_s
     return MachineModel(
         name=name,
         startup_s=max(startup_s, 1e-9),
-        inject_s=max(startup_s, 1e-9) * (base.inject_s / base.startup_s),
+        inject_s=base.inject_s * scale,
         bandwidth_bps=max(bandwidth_bps, 1.0),
         bcopy_cache_bps=base.bcopy_cache_bps,
         bcopy_mem_bps=base.bcopy_mem_bps,
         cache_bytes=base.cache_bytes,
         flops=base.flops,
-        sw_overhead_s=0.0,  # measured constants already include software
+        sw_overhead_s=base.sw_overhead_s * scale,
     )
 
 

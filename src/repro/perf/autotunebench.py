@@ -1,0 +1,300 @@
+"""Machine-adaptive threshold autotuning benchmark.
+
+``python -m repro bench --autotune`` answers the question the unified
+cost layer exists for: *does feeding the compiler the machine it is
+actually running on change its schedules, and is the change an
+improvement?*  It runs every Figure 10 benchmark through the pipeline
+under five machine models —
+
+* the two paper presets (``SP2``, ``NOW``), and
+* three models calibrated from the host's real transport backends
+  (``inline``, ``threaded``, ``multiprocess``) via the Figure 5-style
+  micro-benchmark and :func:`~repro.machine.model.calibrated_model`
+
+— and records, per benchmark x model: the derived combining threshold,
+the resulting schedule, whether it differs from the default-SP2
+schedule, the §6.1-predicted time delta under that model, and (for
+schedules that actually changed) the measured wall-time delta of
+executing both schedules on the corresponding substrate.  The payload
+also carries each program's HBL-style traffic floor
+(:mod:`repro.cost.lower_bound`) and a golden-consistency check: the
+default-machine schedules must still match ``tests/golden/
+schedules.json`` byte-for-byte, so autotuning can never silently move
+the defaults.  ``ok`` fails on any lower-bound violation or golden
+drift — the CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any
+
+from ..core.context import CompilerOptions
+from ..core.pipeline import CompilationResult, Strategy, compile_program
+from ..cost.model import CostModel
+from ..machine.model import MACHINES, MachineModel, calibrated_model
+from ..runtime.simulator import simulate
+from ..runtime.spmd import SPMDExecutor
+from .history import append_history, autotune_headline
+from .runbench import QUICK_PARAMS, RUN_PARAMS
+from .stats import environment_metadata
+from .transportbench import calibrate_backend
+
+#: Transport backends a calibrated model is fitted for (and measured on).
+CALIBRATED_BACKENDS = ("inline", "threaded", "multiprocess")
+
+#: The default model every other schedule is diffed against.
+BASELINE_MODEL = "SP2"
+
+
+def _schedule_signature(result: CompilationResult) -> dict[str, Any]:
+    """The part of a schedule that combining decisions can move: the
+    placed groups and the eliminated entries (positions + labels)."""
+    return {
+        "schedule": [
+            [str(pc.position), sorted(e.label for e in pc.entries)]
+            for pc in result.placed
+        ],
+        "eliminated": sorted(e.label for e in result.eliminated_entries()),
+    }
+
+
+def _measure_wall(
+    result: CompilationResult,
+    transport: "str | None",
+    watchdog_s: float,
+) -> float:
+    t0 = time.perf_counter()
+    executor = SPMDExecutor(result, transport=transport, watchdog_s=watchdog_s)
+    try:
+        executor.run()
+    finally:
+        executor.close()
+    return time.perf_counter() - t0
+
+
+def build_models(
+    calibration: dict[str, dict[str, Any]],
+) -> dict[str, MachineModel]:
+    """The model ladder: presets plus one calibrated model per backend."""
+    models: dict[str, MachineModel] = {
+        "SP2": MACHINES["SP2"],
+        "NOW": MACHINES["NOW"],
+    }
+    for backend, cal in calibration.items():
+        models[f"calibrated-{backend}"] = calibrated_model(
+            cal["model_name"], cal["startup_s"], cal["bandwidth_bps"]
+        )
+    return models
+
+
+def golden_check() -> dict[str, Any]:
+    """Compile every benchmark x strategy with default options (default
+    params, SP2 model) and diff the schedules against the checked-in
+    golden records.  Skips (``checked: False``) outside a source
+    checkout where the golden file is not present."""
+    from ..evaluation.programs import BENCHMARKS
+
+    golden_path = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        "..", "..", "..", "tests", "golden", "schedules.json",
+    )
+    golden_path = os.path.normpath(golden_path)
+    if not os.path.exists(golden_path):
+        return {"checked": False, "drifted": [], "path": None}
+    with open(golden_path) as fh:
+        records = json.load(fh)
+
+    drifted: list[str] = []
+    for name in sorted(BENCHMARKS):
+        for strategy in Strategy:
+            golden = records.get(name, {}).get(strategy.value)
+            if golden is None:
+                continue
+            result = compile_program(BENCHMARKS[name], strategy=strategy)
+            sig = _schedule_signature(result)
+            if (
+                sig["schedule"] != golden["schedule"]
+                or sig["eliminated"] != golden["eliminated"]
+            ):
+                drifted.append(f"{name}/{strategy.value}")
+    return {"checked": True, "drifted": drifted, "path": golden_path}
+
+
+def run_autotune_bench(
+    quick: bool = False,
+    backends: tuple[str, ...] = CALIBRATED_BACKENDS,
+    watchdog_s: float = 120.0,
+) -> dict[str, Any]:
+    from ..cost.lower_bound import lower_bound
+    from ..evaluation.programs import BENCHMARKS
+    from ..runtime.spmd import execute_spmd
+
+    sizes = QUICK_PARAMS if quick else RUN_PARAMS
+    calibration = {b: calibrate_backend(b) for b in backends}
+    models = build_models(calibration)
+
+    thresholds = {
+        label: CostModel(machine=model).derived_threshold()
+        for label, model in models.items()
+    }
+
+    programs: dict[str, Any] = {}
+    unsound: list[str] = []
+    for name in sorted(BENCHMARKS):
+        source, params = BENCHMARKS[name], sizes[name]
+        baseline = compile_program(
+            source, params=params,
+            options=CompilerOptions(machine=BASELINE_MODEL),
+        )
+        base_sig = _schedule_signature(baseline)
+        lb = lower_bound(baseline.info)
+        _, base_stats = execute_spmd(baseline)
+        sound = lb.sound_for(base_stats.bytes_moved)
+        if not sound:
+            unsound.append(name)
+
+        per_model: dict[str, Any] = {}
+        for label, model in models.items():
+            adapted = compile_program(
+                source, params=params,
+                options=CompilerOptions(machine=model),
+            )
+            sig = _schedule_signature(adapted)
+            changed = sig != base_sig
+            # Predicted: both schedules costed under *this* model, so the
+            # delta isolates the scheduling decision from the machine.
+            pred_base = simulate(baseline, model).total_time
+            pred_adapted = simulate(adapted, model).total_time
+            record: dict[str, Any] = {
+                "threshold_bytes": thresholds[label],
+                "call_sites": adapted.call_sites(),
+                "schedule": sig["schedule"],
+                "changed_vs_baseline": changed,
+                "predicted_total_s": {
+                    "baseline_schedule": round(pred_base, 6),
+                    "adapted_schedule": round(pred_adapted, 6),
+                },
+                "predicted_delta_pct": (
+                    round(100.0 * (pred_base - pred_adapted) / pred_base, 2)
+                    if pred_base else None
+                ),
+            }
+            if changed:
+                # Measured: execute both schedules on the substrate the
+                # model was fitted for (presets run the direct-copy path).
+                transport = (
+                    label.split("calibrated-", 1)[1]
+                    if label.startswith("calibrated-") else None
+                )
+                base_wall = _measure_wall(baseline, transport, watchdog_s)
+                adapted_wall = _measure_wall(adapted, transport, watchdog_s)
+                record["measured_wall_s"] = {
+                    "baseline_schedule": round(base_wall, 4),
+                    "adapted_schedule": round(adapted_wall, 4),
+                }
+                record["measured_delta_pct"] = (
+                    round(100.0 * (base_wall - adapted_wall) / base_wall, 2)
+                    if base_wall else None
+                )
+            per_model[label] = record
+
+        programs[name] = {
+            "params": params,
+            "baseline_model": BASELINE_MODEL,
+            "baseline_call_sites": baseline.call_sites(),
+            "lower_bound": {
+                **lb.as_dict(),
+                "bytes_moved": base_stats.bytes_moved,
+                "ratio": lb.ratio(base_stats.bytes_moved),
+                "sound": sound,
+            },
+            "models": per_model,
+        }
+
+    changed_by_model = {
+        label: sorted(
+            name for name, p in programs.items()
+            if p["models"][label]["changed_vs_baseline"]
+        )
+        for label in models
+    }
+    golden = golden_check()
+    return {
+        "mode": "quick" if quick else "full",
+        "environment": environment_metadata(),
+        "calibration": calibration,
+        "thresholds": thresholds,
+        "programs": programs,
+        "ablation": {
+            "changed_by_model": changed_by_model,
+            "any_changed": any(v for v in changed_by_model.values()),
+        },
+        "golden_check": golden,
+        "lower_bound_violations": unsound,
+        "ok": not unsound and not golden["drifted"],
+    }
+
+
+def write_autotune_bench(
+    path: str = "BENCH_autotune.json",
+    quick: bool = False,
+    backends: tuple[str, ...] = CALIBRATED_BACKENDS,
+    watchdog_s: float = 120.0,
+) -> dict[str, Any]:
+    payload = run_autotune_bench(
+        quick=quick, backends=backends, watchdog_s=watchdog_s
+    )
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    append_history(
+        "autotune", autotune_headline(payload),
+        directory=os.path.dirname(os.path.abspath(path)),
+    )
+    return payload
+
+
+def format_autotune_bench(payload: dict[str, Any]) -> str:
+    lines = ["derived thresholds:"]
+    for label, t in sorted(payload["thresholds"].items()):
+        lines.append(f"  {label:24s} {t:>8d} bytes")
+    lines.append(
+        f"\n{'program':16s} {'model':24s} {'sites':>6s} {'chg':>4s} "
+        f"{'pred%':>7s} {'meas%':>7s} {'b/LB':>6s}"
+    )
+    for name, p in sorted(payload["programs"].items()):
+        ratio = p["lower_bound"]["ratio"]
+        ratio_s = f"{ratio:6.2f}" if ratio is not None else f"{'n/a':>6s}"
+        for label, rec in sorted(p["models"].items()):
+            pred = rec["predicted_delta_pct"]
+            meas = rec.get("measured_delta_pct")
+            lines.append(
+                f"{name:16s} {label:24s} {rec['call_sites']:6d} "
+                f"{'yes' if rec['changed_vs_baseline'] else '-':>4s} "
+                f"{pred if pred is not None else '-':>7} "
+                f"{meas if meas is not None else '-':>7} "
+                f"{ratio_s}"
+            )
+    golden = payload["golden_check"]
+    if not golden["checked"]:
+        lines.append("golden check skipped (no checked-in schedules found)")
+    elif golden["drifted"]:
+        lines.append(f"GOLDEN DRIFT: {', '.join(golden['drifted'])}")
+    else:
+        lines.append("default-machine schedules match golden exactly")
+    if payload["lower_bound_violations"]:
+        lines.append(
+            "LOWER-BOUND VIOLATION: "
+            + ", ".join(payload["lower_bound_violations"])
+        )
+    changed = payload["ablation"]["changed_by_model"]
+    moved = {m: names for m, names in changed.items() if names}
+    if moved:
+        for model, names in sorted(moved.items()):
+            lines.append(f"schedule changes under {model}: {', '.join(names)}")
+    else:
+        lines.append("no schedules changed under any model at these sizes")
+    return "\n".join(lines)

@@ -241,6 +241,36 @@ def exact_headline(payload: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+def autotune_headline(payload: dict[str, Any]) -> dict[str, Any]:
+    """Backfill-safe: every field degrades to None/{} when a payload
+    predates it, so mixed-age history files still parse."""
+    programs = payload.get("programs") or {}
+    ablation = payload.get("ablation") or {}
+    changed = ablation.get("changed_by_model") or {}
+    golden = payload.get("golden_check") or {}
+    ratios = [
+        p["lower_bound"]["ratio"]
+        for p in programs.values()
+        if isinstance(p.get("lower_bound"), dict)
+        and p["lower_bound"].get("ratio") is not None
+    ]
+    return {
+        "mode": payload.get("mode"),
+        "ok": payload.get("ok"),
+        "programs": len(programs) or None,
+        "thresholds": payload.get("thresholds"),
+        "changed_schedules": {
+            m: len(names) for m, names in changed.items()
+        } or None,
+        "any_changed": ablation.get("any_changed"),
+        "golden_drift": len(golden.get("drifted") or []) or 0,
+        "max_bytes_over_lb": round(max(ratios), 3) if ratios else None,
+        "lower_bound_violations": len(
+            payload.get("lower_bound_violations") or []
+        ) or 0,
+    }
+
+
 def kernel_headline(payload: dict[str, Any]) -> list[dict[str, Any]]:
     """One headline per swept grid — scaling curves across commits need
     per-P points, so ``--kernels`` appends several records per run."""

@@ -34,6 +34,7 @@ from typing import Any
 import numpy as np
 
 from ..core.pipeline import CompilationResult, Strategy, compile_program
+from ..cost.lower_bound import lower_bound
 from ..machine.model import MACHINES
 from ..runtime.simulator import simulate
 from ..runtime.spmd import SPMDExecutor
@@ -101,7 +102,10 @@ def bench_program(
     # element-wise assignment firing; identical across both paths by the
     # bitwise-identity check, so elements/s is directly comparable.
     elements = vec_stats.elements_written + vec_stats.fallback_firings
-    report = simulate(result, MACHINES["SP2"])
+    lb = lower_bound(result.info)
+    report = simulate(
+        result, MACHINES["SP2"], lower_bound_bytes=lb.wire_floor_bytes
+    )
 
     return {
         "params": params,
@@ -143,6 +147,12 @@ def bench_program(
             "executed_messages": vec_stats.messages,
             "executed_bytes": vec_stats.bytes_moved,
         },
+        "lower_bound": {
+            **lb.as_dict(),
+            "bytes_moved": vec_stats.bytes_moved,
+            "ratio": lb.ratio(vec_stats.bytes_moved),
+            "sound": lb.sound_for(vec_stats.bytes_moved),
+        },
     }
 
 
@@ -162,13 +172,19 @@ def run_spmd_bench(
         if not p["correctness"]["bitwise_identical"]
         or not p["correctness"]["counters_match"]
     )
+    unsound = sorted(
+        name
+        for name, p in programs.items()
+        if not p["lower_bound"]["sound"]
+    )
     return {
         "mode": "quick" if quick else "full",
         "strategy": strategy.value,
         "environment": environment_metadata(),
         "programs": programs,
         "degradations": degraded,
-        "ok": not degraded,
+        "lower_bound_violations": unsound,
+        "ok": not degraded and not unsound,
     }
 
 
@@ -195,17 +211,21 @@ def write_spmd_bench(
 def format_spmd_bench(payload: dict[str, Any]) -> str:
     lines = [
         f"{'program':16s} {'vec':>9s} {'elem':>9s} {'speedup':>8s} "
-        f"{'elem/s':>12s} {'nests':>6s} {'fb':>4s} {'exact':>6s}"
+        f"{'elem/s':>12s} {'nests':>6s} {'fb':>4s} {'exact':>6s} "
+        f"{'b/LB':>6s}"
     ]
     for name, p in payload["programs"].items():
         vec = p["vectorized"]
+        ratio = p["lower_bound"]["ratio"]
+        ratio_s = f"{ratio:6.2f}" if ratio is not None else f"{'n/a':>6s}"
         lines.append(
             f"{name:16s} {vec['wall_s'] * 1000:7.1f}ms "
             f"{p['elementwise']['wall_s'] * 1000:7.1f}ms "
             f"{p['speedup']:7.1f}x {vec['elements_per_s']:>12,} "
             f"{p['vectorization']['vectorized_nests']:6d} "
             f"{p['vectorization']['fallback_statements']:4d} "
-            f"{'yes' if p['correctness']['bitwise_identical'] else 'NO':>6s}"
+            f"{'yes' if p['correctness']['bitwise_identical'] else 'NO':>6s} "
+            f"{ratio_s}"
         )
     if payload["degradations"]:
         lines.append(f"DEGRADED: {', '.join(payload['degradations'])}")

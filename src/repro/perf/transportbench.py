@@ -34,6 +34,7 @@ from typing import Any
 import numpy as np
 
 from ..core.pipeline import Strategy, compile_program
+from ..cost.lower_bound import lower_bound
 from ..machine.model import MACHINES, calibrated_model, fit_linear_cost
 from ..runtime.darray import RankStorage
 from ..runtime.simulator import simulate
@@ -117,9 +118,12 @@ def bench_backend(
     references: dict[str, dict[str, np.ndarray]],
     results: dict[str, Any],
     watchdog_s: float = 120.0,
+    floors: "dict[str, Any] | None" = None,
 ) -> dict[str, Any]:
     """Run every benchmark program on one backend and compare against
-    the legacy direct-copy references."""
+    the legacy direct-copy references.  ``floors`` maps program name to
+    its precomputed :class:`~repro.cost.lower_bound.LowerBoundReport`
+    (the floor depends only on the program, not the backend)."""
     programs: dict[str, Any] = {}
     ok = True
     for name in sorted(sizes):
@@ -141,7 +145,11 @@ def bench_backend(
             np.array_equal(state[k], ref[k]) for k in state
         )
         ok = ok and identical
-        report = simulate(result, MACHINES["SP2"])
+        lb = (floors or {}).get(name) or lower_bound(result.info)
+        report = simulate(
+            result, MACHINES["SP2"], lower_bound_bytes=lb.wire_floor_bytes
+        )
+        ok = ok and lb.sound_for(stats.bytes_moved)
         programs[name] = {
             "params": sizes[name],
             "wall_s": round(wall, 4),
@@ -156,6 +164,12 @@ def bench_backend(
                 "predicted_bytes_per_proc": report.bytes_per_proc,
                 "executed_messages": stats.messages,
                 "executed_bytes": stats.bytes_moved,
+            },
+            "lower_bound": {
+                **lb.as_dict(),
+                "bytes_moved": stats.bytes_moved,
+                "ratio": lb.ratio(stats.bytes_moved),
+                "sound": lb.sound_for(stats.bytes_moved),
             },
         }
     return {"programs": programs, "ok": ok}
@@ -179,11 +193,15 @@ def run_transport_bench(
     references = {
         name: execute_spmd(results[name])[0] for name in sorted(results)
     }
+    floors = {
+        name: lower_bound(results[name].info) for name in sorted(results)
+    }
 
     calibration = {b: calibrate_backend(b) for b in backends}
     backend_results = {
         b: bench_backend(
-            b, sizes, strategy, references, results, watchdog_s=watchdog_s
+            b, sizes, strategy, references, results, watchdog_s=watchdog_s,
+            floors=floors,
         )
         for b in backends
     }

@@ -76,12 +76,19 @@ class CommOpCost:
 
 @dataclass
 class SimReport:
-    """Per-run simulation outcome."""
+    """Per-run simulation outcome.
+
+    ``lower_bound_bytes`` is the per-processor-summed HBL-style floor from
+    :mod:`repro.cost.lower_bound` when the caller supplies it — purely
+    informational context beside the modeled traffic (the simulator's own
+    byte counts are per-processor, so the two are reported side by side,
+    not gated against each other)."""
 
     machine: str
     strategy: str
     compute_time: float
     comm_ops: list[CommOpCost] = field(default_factory=list)
+    lower_bound_bytes: "int | None" = None
 
     @property
     def comm_time(self) -> float:
@@ -104,13 +111,16 @@ class SimReport:
         return sum(c.total_bytes for c in self.comm_ops)
 
     def summary(self) -> dict[str, float]:
-        return {
+        out = {
             "compute_s": self.compute_time,
             "comm_s": self.comm_time,
             "total_s": self.total_time,
             "messages": float(self.messages_per_proc),
             "megabytes": self.bytes_per_proc / 1e6,
         }
+        if self.lower_bound_bytes is not None:
+            out["lower_bound_megabytes"] = self.lower_bound_bytes / 1e6
+        return out
 
 
 class Simulator:
@@ -135,11 +145,13 @@ class Simulator:
         machine: MachineModel,
         overlap: bool = False,
         cache_pressure: bool = False,
+        lower_bound_bytes: "int | None" = None,
     ) -> None:
         self.result = result
         self.machine = machine
         self.overlap = overlap
         self.cache_pressure = cache_pressure
+        self.lower_bound_bytes = lower_bound_bytes
         self.ctx = result.ctx
         self.info = result.ctx.info
         self._trip_cache: dict[int, int] = {}
@@ -330,6 +342,7 @@ class Simulator:
             machine=self.machine.name,
             strategy=self.result.strategy.value,
             compute_time=self.compute_cost(),
+            lower_bound_bytes=self.lower_bound_bytes,
         )
         for op in self.result.placed:
             report.comm_ops.append(self._op_cost(op))
@@ -341,6 +354,9 @@ def simulate(
     machine: MachineModel,
     overlap: bool = False,
     cache_pressure: bool = False,
+    lower_bound_bytes: "int | None" = None,
 ) -> SimReport:
     """Convenience wrapper: simulate one compiled program."""
-    return Simulator(result, machine, overlap, cache_pressure).run()
+    return Simulator(
+        result, machine, overlap, cache_pressure, lower_bound_bytes
+    ).run()

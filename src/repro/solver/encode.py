@@ -305,7 +305,7 @@ def build_model(
     for (member, rep, position), _var in em.g_index.items():
         if member != rep:
             group_members.setdefault((rep, position), []).append(member)
-    threshold = ctx.options.combine_threshold_bytes
+    threshold = ctx.cost_model.threshold_bytes()
     for (rep, position), members in sorted(group_members.items()):
         check_deadline()
         rep_entry = by_id[rep]

@@ -10,6 +10,7 @@ from repro.machine.model import SP2, MachineModel, calibrated_model, fit_linear_
 from repro.perf.history import (
     HISTORY_FILE,
     append_history,
+    autotune_headline,
     chaos_headline,
     compile_headline,
     exact_headline,
@@ -218,6 +219,40 @@ class TestHistory:
         assert h["regressions"] == 0
         json.dumps(h)
 
+    def test_autotune_headline(self):
+        payload = {
+            "mode": "full", "ok": True,
+            "thresholds": {"SP2": 18360, "NOW": 67660},
+            "programs": {
+                "a": {"lower_bound": {"ratio": 1.27}},
+                "b": {"lower_bound": {"ratio": 4.0}},
+            },
+            "ablation": {
+                "changed_by_model": {"SP2": [], "NOW": ["a"]},
+                "any_changed": True,
+            },
+            "golden_check": {"checked": True, "drifted": []},
+            "lower_bound_violations": [],
+        }
+        h = autotune_headline(payload)
+        assert h["programs"] == 2
+        assert h["thresholds"] == {"SP2": 18360, "NOW": 67660}
+        assert h["changed_schedules"] == {"SP2": 0, "NOW": 1}
+        assert h["any_changed"] is True
+        assert h["golden_drift"] == 0
+        assert h["max_bytes_over_lb"] == 4.0
+        assert h["lower_bound_violations"] == 0
+
+    def test_autotune_headline_is_backfill_safe(self):
+        h = autotune_headline({"mode": "quick", "ok": False})
+        assert h["programs"] is None
+        assert h["thresholds"] is None
+        assert h["changed_schedules"] is None
+        assert h["any_changed"] is None
+        assert h["max_bytes_over_lb"] is None
+        assert h["golden_drift"] == 0
+        assert h["lower_bound_violations"] == 0
+
     def test_kernel_headline_one_record_per_grid(self):
         cell = {
             "kernel": {"execute_s": 0.2, "elements_per_s": 1000},
@@ -280,6 +315,13 @@ class TestCalibration:
         assert model.inject_s / model.startup_s == pytest.approx(
             SP2.inject_s / SP2.startup_s
         )
+        # So does the software overhead (it used to be silently zeroed,
+        # which made calibrated per-message cost dip below the fitted
+        # intercept).
+        assert model.sw_overhead_s / model.startup_s == pytest.approx(
+            SP2.sw_overhead_s / SP2.startup_s
+        )
+        assert model.sw_overhead_s > 0
         # The model is usable by the simulator's cost functions.
         assert model.message_time(1024) > 0
         assert model.reduce_time(8, 4) > 0

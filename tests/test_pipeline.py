@@ -161,7 +161,7 @@ class TestGroupInvariants:
                             name, a.label, b.label
                         )
                 if len(pc.entries) > 1:
-                    assert total <= ctx.options.combine_threshold_bytes, name
+                    assert total <= ctx.cost_model.threshold_bytes(), name
 
     def test_absorbed_entries_covered_at_final_position(self):
         from repro.core.redundancy import subsumes_at

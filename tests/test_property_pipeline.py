@@ -13,7 +13,11 @@ from __future__ import annotations
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.pipeline import Strategy, compile_all_strategies
+from repro.core.pipeline import (
+    Strategy,
+    compile_all_strategies,
+    compile_program,
+)
 from repro.runtime.checker import check_schedule
 
 N = 12  # array extent; interior updates stay within |shift| <= 2
@@ -154,7 +158,7 @@ def test_random_programs_compile_and_validate(source):
             for b in pc.entries[i + 1:]:
                 assert _combinable_at(ctx, a, b, pc.position)
         if len(pc.entries) > 1:
-            assert total <= ctx.options.combine_threshold_bytes
+            assert total <= ctx.cost_model.threshold_bytes()
 
 
 @settings(max_examples=15, deadline=None)
@@ -163,6 +167,55 @@ def test_checker_stable_across_seeds(source, seed):
     results = compile_all_strategies(source)
     for result in results.values():
         check_schedule(result, seed=seed)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    source=program_source(),
+    threshold=st.one_of(st.none(), st.integers(1, 1 << 20)),
+)
+def test_any_threshold_stays_oracle_accepted(source, threshold):
+    """Correctness never depends on the combining threshold: whatever
+    byte limit the cost model (or an override) picks — including
+    degenerate 1-byte thresholds that forbid all combining — the emitted
+    schedule must still deliver fresh data at every read."""
+    from repro.core.context import CompilerOptions
+
+    result = compile_program(
+        source,
+        options=CompilerOptions(combine_threshold_bytes=threshold),
+    )
+    assert result.ctx.cost_model.threshold_bytes() == (
+        threshold
+        if threshold is not None
+        else result.ctx.cost_model.derived_threshold()
+    )
+    check_schedule(result)
+
+
+@settings(max_examples=20, deadline=None)
+@given(source=program_source())
+def test_lower_bound_floors_every_strategy(source):
+    """The HBL floor is a program property: identical across strategies,
+    and never above what any strategy's schedule actually moves — so the
+    bytes/LB ratio is monotone non-increasing as orig -> nored -> comb
+    refine the schedule."""
+    from repro.cost.lower_bound import lower_bound
+    from repro.runtime.spmd import execute_spmd
+
+    results = compile_all_strategies(source)
+    floors = {
+        s: lower_bound(r.info).wire_floor_bytes for s, r in results.items()
+    }
+    assert len(set(floors.values())) == 1
+    floor = floors[Strategy.GLOBAL]
+    moved = {}
+    for strategy, result in results.items():
+        _, stats = execute_spmd(result)
+        moved[strategy] = stats.bytes_moved
+        assert floor <= stats.bytes_moved
+    # Strategy refinement can only shrink traffic toward the fixed floor.
+    assert moved[Strategy.GLOBAL] <= moved[Strategy.ORIG]
 
 
 @settings(max_examples=25, deadline=None)
